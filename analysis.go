@@ -1,0 +1,107 @@
+package twpp
+
+import (
+	"twpp/internal/cfg"
+	"twpp/internal/currency"
+	"twpp/internal/dataflow"
+	"twpp/internal/redundancy"
+	"twpp/internal/slicing"
+	"twpp/internal/wpp"
+)
+
+// This file exposes the paper's three applications (§4.3) through the
+// facade: profile-guided load-redundancy analysis, dynamic slicing,
+// and dynamic currency determination, plus the underlying
+// profile-limited GEN-KILL query engine.
+
+// Re-exported analysis types.
+type (
+	// Effect is a block's effect on a data flow fact (Transparent,
+	// GenFact, or KillFact).
+	Effect = dataflow.Effect
+	// QueryResult is the resolution of a profile-limited data flow
+	// query.
+	QueryResult = dataflow.Result
+	// LoadReport is a load site's dynamic redundancy measurement.
+	LoadReport = redundancy.Report
+	// LoadSite identifies an array load instruction.
+	LoadSite = redundancy.LoadSite
+	// SliceCriterion selects what to slice on.
+	SliceCriterion = slicing.Criterion
+	// Slice is a dynamic slicing result.
+	Slice = slicing.Slice
+	// Motion describes a code-motion transformation for currency
+	// determination.
+	Motion = currency.Motion
+	// CurrencyVerdict is the current/non-current determination for
+	// one breakpoint instance.
+	CurrencyVerdict = currency.Verdict
+)
+
+// Effect values for GEN-KILL problems.
+const (
+	// TransparentFact leaves the fact unchanged.
+	TransparentFact = dataflow.Transparent
+	// GenFact makes the fact true on block exit.
+	GenFact = dataflow.Gen
+	// KillFact makes the fact false on block exit.
+	KillFact = dataflow.Kill
+)
+
+// Query answers the profile-limited data flow query <T(n), n>_d: does
+// the fact defined by effect hold immediately before every execution
+// of block n in the given dynamic CFG? effect maps each block to its
+// GEN/KILL behaviour.
+func Query(g *TGraph, effect func(BlockID) Effect, n BlockID) (*QueryResult, error) {
+	return dataflow.SolveAll(g, dataflow.ProblemFunc(effect), n)
+}
+
+// QueryAt restricts Query to a subset T of n's execution timestamps.
+func QueryAt(g *TGraph, effect func(BlockID) Effect, n BlockID, T Seq) (*QueryResult, error) {
+	return dataflow.Solve(g, dataflow.ProblemFunc(effect), n, T)
+}
+
+// LoadRedundancy measures, for every array load site of function fn,
+// how often the loaded value was already available during the
+// execution recorded in tg (paper §4.3.1 / Figure 9).
+func (p *Program) LoadRedundancy(fn FuncID, tg *TGraph) ([]*LoadReport, error) {
+	return redundancy.AnalyzeFunction(p.CFG, fn, tg)
+}
+
+// MainTrace builds the dynamic CFG of the root (main) invocation of a
+// run — the common starting point for the analyses. The program
+// should have been compiled with PerStatement granularity for
+// statement-level results.
+func (r *Run) MainTrace() *TGraph {
+	return dataflow.BuildFromPath(wpp.PathTrace(r.WPP.Traces[r.WPP.Root.Trace]))
+}
+
+// NewSlicer prepares dynamic slicing for function fn over the
+// execution recorded in tg (paper §4.3.2 / Figures 10-11). The
+// returned slicer offers the three Agrawal-Horgan approaches.
+func (p *Program) NewSlicer(fn FuncID, tg *TGraph) (*slicing.Slicer, error) {
+	g := p.CFG.Graph(cfg.FuncID(fn))
+	if g == nil {
+		return nil, errNoFunc(fn)
+	}
+	return slicing.New(g, tg), nil
+}
+
+// Currency determines whether Var is current at the breakpoint
+// instance (block, t) of the optimized execution in tg, given the
+// optimizer's code motion m (paper §4.3.2 / Figure 12).
+func Currency(tg *TGraph, m Motion, breakpoint BlockID, t Timestamp) (*CurrencyVerdict, error) {
+	return currency.At(tg, m, breakpoint, t)
+}
+
+// CurrencyAll classifies every breakpoint instance at once, returning
+// the timestamp sets where the variable is current and non-current.
+func CurrencyAll(tg *TGraph, m Motion, breakpoint BlockID) (current, nonCurrent Seq, err error) {
+	return currency.AtAll(tg, m, breakpoint)
+}
+
+type noFuncError FuncID
+
+func (e noFuncError) Error() string { return "twpp: no such function id" }
+
+func errNoFunc(fn FuncID) error { return noFuncError(fn) }

@@ -1,0 +1,72 @@
+// Command twpp-compact converts a raw WPP file into the compacted,
+// indexed TWPP format, reporting the per-stage compaction factors of
+// the paper's Table 2. It can also produce the Sequitur (Larus)
+// baseline representation for comparison.
+//
+// Usage:
+//
+//	twpp-compact -in trace.wpp [-o trace.twpp] [-sequitur trace.seq]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twpp"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "input raw WPP file (required)")
+		out  = flag.String("o", "", "output compacted TWPP file (default: input with .twpp)")
+		seq  = flag.String("sequitur", "", "also write the Sequitur-compressed baseline here")
+		verb = flag.Bool("v", true, "print compaction statistics")
+	)
+	flag.Parse()
+	if err := run(*in, *out, *seq, *verb); err != nil {
+		fmt.Fprintln(os.Stderr, "twpp-compact:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, seqPath string, verbose bool) error {
+	if in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	if out == "" {
+		out = in + ".twpp"
+	}
+	w, err := twpp.ReadRawFile(in)
+	if err != nil {
+		return err
+	}
+	tw, stats := twpp.Compact(w)
+	if err := twpp.WriteFile(out, tw); err != nil {
+		return err
+	}
+	if verbose {
+		traceB, dictB := tw.SizeStats()
+		fmt.Printf("raw traces:          %10d bytes\n", stats.RawTraceBytes)
+		fmt.Printf("after redundancy:    %10d bytes (x%.2f)\n", stats.AfterRedundancy,
+			float64(stats.RawTraceBytes)/float64(stats.AfterRedundancy))
+		fmt.Printf("after dictionaries:  %10d bytes (x%.2f)\n", stats.AfterDictionary,
+			float64(stats.AfterRedundancy)/float64(stats.AfterDictionary))
+		fmt.Printf("compacted TWPP:      %10d bytes (x%.2f)\n", traceB+dictB,
+			float64(stats.AfterDictionary)/float64(traceB+dictB))
+		fmt.Printf("calls %d, unique traces %d\n", stats.Calls, stats.UniqueTraces)
+		if fi, err := os.Stat(out); err == nil {
+			fmt.Printf("wrote %s (%d bytes on disk)\n", out, fi.Size())
+		}
+	}
+	if seqPath != "" {
+		c := twpp.CompressSequitur(w)
+		if err := os.WriteFile(seqPath, c.Data, 0o644); err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Printf("wrote %s (%d bytes, Sequitur baseline)\n", seqPath, c.Size())
+		}
+	}
+	return nil
+}

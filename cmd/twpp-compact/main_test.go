@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twpp"
+)
+
+func writeTrace(t *testing.T, dir string) string {
+	t.Helper()
+	prog, err := twpp.Compile(`
+func main() {
+    var s = 0;
+    for (var i = 0; i < 50; i = i + 1) {
+        s = s + w(i % 2);
+    }
+    print(s);
+}
+func w(m) {
+    var j = 0;
+    while (j < 4) {
+        j = j + 1;
+    }
+    return m + j;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := prog.Trace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "t.wpp")
+	if err := twpp.WriteRawFile(p, r.WPP); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunCompacts(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTrace(t, dir)
+	out := filepath.Join(dir, "t.twpp")
+	seq := filepath.Join(dir, "t.seq")
+	if err := run(in, out, seq, false); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := twpp.OpenFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if len(cf.Functions()) != 2 {
+		t.Errorf("functions = %v", cf.Functions())
+	}
+	if fi, err := os.Stat(seq); err != nil || fi.Size() == 0 {
+		t.Errorf("sequitur baseline missing: %v", err)
+	}
+	// Compacted output smaller than the raw input.
+	ri, _ := os.Stat(in)
+	ci, _ := os.Stat(out)
+	if ci.Size() >= ri.Size() {
+		t.Errorf("compacted %d >= raw %d", ci.Size(), ri.Size())
+	}
+}
+
+func TestRunDefaultOutputName(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTrace(t, dir)
+	if err := run(in, "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(in + ".twpp"); err != nil {
+		t.Errorf("default output missing: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", false); err == nil {
+		t.Error("missing input: want error")
+	}
+	if err := run("/nonexistent/file.wpp", "", "", false); err == nil {
+		t.Error("absent input: want error")
+	}
+}

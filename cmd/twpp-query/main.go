@@ -1,0 +1,126 @@
+// Command twpp-query answers queries against a compacted TWPP file:
+// listing functions (hottest first), extracting one function's path
+// traces, and running profile-limited GEN-KILL data flow queries over
+// a chosen trace.
+//
+// Usage:
+//
+//	twpp-query -in trace.twpp -list
+//	twpp-query -in trace.twpp -func 3 [-trace 0] [-show]
+//	twpp-query -in trace.twpp -func 3 -trace 0 -block 4 -gen 1 -kill 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"twpp"
+	"twpp/internal/cfg"
+	"twpp/internal/dataflow"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "compacted TWPP file (required)")
+		list    = flag.Bool("list", false, "list functions, hottest first")
+		fn      = flag.Int("func", -1, "function id to extract")
+		traceIx = flag.Int("trace", 0, "unique trace index within the function")
+		show    = flag.Bool("show", false, "print the trace's timestamp mapping")
+		block   = flag.Int("block", 0, "query block: ask whether the fact holds before its executions")
+		genStr  = flag.String("gen", "", "comma-separated block ids that generate the fact")
+		killStr = flag.String("kill", "", "comma-separated block ids that kill the fact")
+	)
+	flag.Parse()
+	if err := run(*in, *list, *fn, *traceIx, *show, *block, *genStr, *killStr); err != nil {
+		fmt.Fprintln(os.Stderr, "twpp-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, list bool, fn, traceIx int, show bool, block int, genStr, killStr string) error {
+	if in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	f, err := twpp.OpenFile(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if list {
+		fmt.Printf("%-8s %-24s %s\n", "id", "name", "calls")
+		for _, id := range f.Functions() {
+			name := fmt.Sprintf("func%d", id)
+			if int(id) < len(f.FuncNames) {
+				name = f.FuncNames[id]
+			}
+			fmt.Printf("%-8d %-24s %d\n", id, name, f.CallCount(id))
+		}
+		return nil
+	}
+	if fn < 0 {
+		return fmt.Errorf("need -list or -func")
+	}
+
+	ft, err := f.ExtractFunction(twpp.FuncID(fn))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("function %d: %d calls, %d unique traces, %d dictionaries\n",
+		fn, ft.CallCount, len(ft.Traces), len(ft.Dicts))
+	if traceIx < 0 || traceIx >= len(ft.Traces) {
+		return fmt.Errorf("trace index %d out of range", traceIx)
+	}
+	tr := ft.Traces[traceIx]
+	fmt.Printf("trace %d: length %d, %d distinct dynamic blocks\n", traceIx, tr.Len, len(tr.Blocks))
+	if show {
+		for _, bt := range tr.Blocks {
+			fmt.Printf("  %4d -> %s\n", bt.Block, bt.Times)
+		}
+	}
+
+	if block > 0 {
+		gens, err := parseBlocks(genStr)
+		if err != nil {
+			return err
+		}
+		kills, err := parseBlocks(killStr)
+		if err != nil {
+			return err
+		}
+		g, err := twpp.DynamicCFG(ft, traceIx)
+		if err != nil {
+			return err
+		}
+		prob := &dataflow.GenKillProblem{GenBlocks: gens, KillBlocks: kills}
+		res, err := dataflow.SolveAll(g, prob, twpp.BlockID(block))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query <T(%d), %d>: holds %s\n", block, block, res.Holds())
+		fmt.Printf("  true:       %s (%d)\n", res.True, res.True.Count())
+		fmt.Printf("  false:      %s (%d)\n", res.False, res.False.Count())
+		fmt.Printf("  unresolved: %s (%d)\n", res.Unresolved, res.Unresolved.Count())
+		fmt.Printf("  frequency %.1f%%, %d queries, %d steps\n",
+			100*res.Frequency(), res.Queries, res.Steps)
+	}
+	return nil
+}
+
+func parseBlocks(s string) (map[cfg.BlockID]bool, error) {
+	out := map[cfg.BlockID]bool{}
+	if s == "" {
+		return out, nil
+	}
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad block id %q: %w", p, err)
+		}
+		out[cfg.BlockID(v)] = true
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"twpp"
+)
+
+func writeTWPP(t *testing.T, dir string) string {
+	t.Helper()
+	prog, err := twpp.Compile(`
+func main() {
+    var s = 0;
+    for (var i = 0; i < 30; i = i + 1) {
+        s = s + w(i % 2);
+    }
+    print(s);
+}
+func w(m) {
+    var j = 0;
+    while (j < 5) {
+        j = j + 1;
+    }
+    return m + j;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := prog.Trace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, _ := twpp.Compact(r.WPP)
+	p := filepath.Join(dir, "t.twpp")
+	if err := twpp.WriteFile(p, tw); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunList(t *testing.T) {
+	p := writeTWPP(t, t.TempDir())
+	if err := run(p, true, -1, 0, false, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtractAndQuery(t *testing.T) {
+	p := writeTWPP(t, t.TempDir())
+	// Extract function 1 (w) with timestamp display and a GEN-KILL
+	// query on its loop head.
+	if err := run(p, false, 1, 0, true, 2, "1", "9"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := writeTWPP(t, t.TempDir())
+	if err := run("", false, 0, 0, false, 0, "", ""); err == nil {
+		t.Error("missing input: want error")
+	}
+	if err := run(p, false, -1, 0, false, 0, "", ""); err == nil {
+		t.Error("neither list nor func: want error")
+	}
+	if err := run(p, false, 1, 99, false, 0, "", ""); err == nil {
+		t.Error("bad trace index: want error")
+	}
+	if err := run(p, false, 99, 0, false, 0, "", ""); err == nil {
+		t.Error("absent function: want error")
+	}
+	if err := run(p, false, 1, 0, false, 2, "x", ""); err == nil {
+		t.Error("bad gen list: want error")
+	}
+	if err := run(p, false, 1, 0, false, 2, "", "y"); err == nil {
+		t.Error("bad kill list: want error")
+	}
+}
+
+func TestParseBlocks(t *testing.T) {
+	m, err := parseBlocks("1, 2,3")
+	if err != nil || len(m) != 3 || !m[2] {
+		t.Errorf("parseBlocks = %v, %v", m, err)
+	}
+	if _, err := parseBlocks("a"); err == nil {
+		t.Error("want error")
+	}
+	if m, err := parseBlocks(""); err != nil || len(m) != 0 {
+		t.Errorf("empty = %v, %v", m, err)
+	}
+}

@@ -1,0 +1,210 @@
+// Command twpp-slice runs the dynamic slicing algorithms of §4.3.2 on
+// a minilang program execution: it traces the program, builds the
+// timestamped dynamic CFG, and prints the requested slice.
+//
+// Usage:
+//
+//	twpp-slice -src prog.mini [-input 3,-4,3,-2] [-func main] \
+//	           -block 14 [-var Z] [-time T] [-approach 3|2|1|inter]
+//
+// With -approach inter the slice crosses call boundaries
+// (interprocedural, instance-precise); otherwise the named
+// Agrawal-Horgan approach runs within the chosen function's first
+// invocation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"twpp"
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/dataflow"
+	"twpp/internal/minilang"
+	"twpp/internal/slicing"
+	"twpp/internal/trace"
+	"twpp/internal/wpp"
+)
+
+func main() {
+	var (
+		srcPath  = flag.String("src", "", "minilang source file (required)")
+		input    = flag.String("input", "", "comma-separated integers for read statements")
+		funcName = flag.String("func", "main", "function to slice within")
+		block    = flag.Int("block", 0, "criterion block (statement number; required)")
+		varName  = flag.String("var", "", "criterion variable (default: the block's uses)")
+		instant  = flag.Int64("time", 0, "criterion instance timestamp (0 = last execution)")
+		approach = flag.String("approach", "3", "1, 2, 3, or inter")
+	)
+	flag.Parse()
+	if err := run(*srcPath, *input, *funcName, *block, *varName, *instant, *approach, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "twpp-slice:", err)
+		os.Exit(1)
+	}
+}
+
+func run(srcPath, input, funcName string, block int, varName string, instant int64, approach string, out *os.File) error {
+	if srcPath == "" {
+		return fmt.Errorf("missing -src")
+	}
+	if block <= 0 {
+		return fmt.Errorf("missing -block")
+	}
+	srcBytes, err := os.ReadFile(srcPath)
+	if err != nil {
+		return err
+	}
+	prog, err := twpp.CompileMode(string(srcBytes), twpp.PerStatement)
+	if err != nil {
+		return err
+	}
+	vals, err := parseInput(input)
+	if err != nil {
+		return err
+	}
+	res, err := prog.Trace(vals)
+	if err != nil {
+		return err
+	}
+
+	fnID, ok := prog.FuncByName(funcName)
+	if !ok {
+		return fmt.Errorf("no function %q", funcName)
+	}
+	crit := slicing.Criterion{
+		Block: cfg.BlockID(block),
+		Time:  core.Timestamp(instant),
+	}
+	if varName != "" {
+		crit.Vars = []cfg.Loc{{Var: strings.TrimSuffix(varName, "[]"), Array: strings.HasSuffix(varName, "[]")}}
+	}
+
+	if approach == "inter" {
+		c, _ := wpp.Compact(res.WPP)
+		tw := core.FromCompacted(c)
+		s := slicing.NewInter(prog.CFG, tw)
+		node := findCall(tw.Root, cfg.FuncID(fnID))
+		if node == nil {
+			return fmt.Errorf("function %q was never called in this execution", funcName)
+		}
+		sl, err := s.Slice(node, crit)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "interprocedural slice on %s at %s:B%d (%d instances):\n",
+			critVarText(varName), funcName, block, sl.Instances)
+		for _, site := range sl.Sites {
+			fmt.Fprintf(out, "  %s:B%-4d %s\n", prog.Names[site.Fn], site.Block,
+				blockText(prog, site.Fn, site.Block))
+		}
+		return nil
+	}
+
+	// Intraprocedural: use the function's first invocation trace.
+	path := firstTraceOf(res.WPP, cfg.FuncID(fnID))
+	if path == nil {
+		return fmt.Errorf("function %q was never called in this execution", funcName)
+	}
+	tg := dataflow.BuildFromPath(path)
+	s := slicing.New(prog.CFG.Graph(cfg.FuncID(fnID)), tg)
+	var sl *slicing.Slice
+	switch approach {
+	case "1":
+		sl, err = s.Approach1(crit)
+	case "2":
+		sl, err = s.Approach2(crit)
+	case "3":
+		sl, err = s.Approach3(crit)
+	default:
+		return fmt.Errorf("unknown approach %q (want 1, 2, 3, or inter)", approach)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "approach %s slice on %s at %s:B%d:\n", approach, critVarText(varName), funcName, block)
+	for _, b := range sl.Blocks {
+		fmt.Fprintf(out, "  B%-4d %s\n", b, blockText(prog, cfg.FuncID(fnID), b))
+	}
+	return nil
+}
+
+func critVarText(v string) string {
+	if v == "" {
+		return "(block uses)"
+	}
+	return v
+}
+
+// blockText renders the first statement (or terminator) of a block for
+// display.
+func blockText(prog *twpp.Program, fn cfg.FuncID, b cfg.BlockID) string {
+	g := prog.CFG.Graph(fn)
+	if g == nil {
+		return ""
+	}
+	blk := g.Block(b)
+	if blk == nil {
+		return ""
+	}
+	if len(blk.Stmts) > 0 {
+		return minilang.StmtString(blk.Stmts[0])
+	}
+	switch t := blk.Term.(type) {
+	case *cfg.CondJump:
+		return "if (" + minilang.ExprString(t.Cond) + ")"
+	case *cfg.Ret:
+		if t.Value != nil {
+			return "return " + minilang.ExprString(t.Value) + ";"
+		}
+		return "return;"
+	}
+	return "(exit)"
+}
+
+// firstTraceOf returns the path trace of fn's first invocation
+// (preorder over the dynamic call graph), or nil.
+func firstTraceOf(w *twpp.RawWPP, fn cfg.FuncID) wpp.PathTrace {
+	var out wpp.PathTrace
+	w.Walk(func(n *trace.CallNode) {
+		if out == nil && n.Fn == fn {
+			out = wpp.PathTrace(w.Traces[n.Trace])
+		}
+	})
+	return out
+}
+
+// findCall returns the first DCG node invoking fn, preorder.
+func findCall(root *wpp.CallNode, fn cfg.FuncID) *wpp.CallNode {
+	if root == nil {
+		return nil
+	}
+	if root.Fn == fn {
+		return root
+	}
+	for _, c := range root.Children {
+		if n := findCall(c, fn); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+func parseInput(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input value %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const fig10 = `
+func main() {
+    read N;
+    var I = 1;
+    var J = 0;
+    while (I <= N) {
+        read X;
+        if (X < 0) {
+            Y = f1(X);
+        } else {
+            Y = f2(X);
+        }
+        Z = f3(Y);
+        print(Z);
+        J = 1;
+        I = I + 1;
+    }
+    Z = Z + J;
+    print(Z);
+}
+func f1(x) { return 0 - x; }
+func f2(x) { return x * 2; }
+func f3(y) { return y + 1; }
+`
+
+func writeSrc(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "fig10.mini")
+	if err := os.WriteFile(p, []byte(fig10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAllApproaches(t *testing.T) {
+	src := writeSrc(t)
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	for _, a := range []string{"1", "2", "3", "inter"} {
+		if err := run(src, "3,-4,3,-2", "main", 14, "Z", 0, a, null); err != nil {
+			t.Errorf("approach %s: %v", a, err)
+		}
+	}
+}
+
+func TestSliceInCallee(t *testing.T) {
+	src := writeSrc(t)
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer null.Close()
+	// f1's only block is 1.
+	if err := run(src, "3,-4,3,-2", "f1", 1, "", 0, "inter", null); err != nil {
+		t.Errorf("callee slice: %v", err)
+	}
+	if err := run(src, "3,-4,3,-2", "f1", 1, "", 0, "3", null); err != nil {
+		t.Errorf("callee intraprocedural slice: %v", err)
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	src := writeSrc(t)
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer null.Close()
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"missing src", func() error { return run("", "", "main", 1, "", 0, "3", null) }},
+		{"missing block", func() error { return run(src, "", "main", 0, "", 0, "3", null) }},
+		{"bad approach", func() error { return run(src, "1,1", "main", 14, "", 0, "9", null) }},
+		{"bad function", func() error { return run(src, "1,1", "nope", 14, "", 0, "3", null) }},
+		{"bad input", func() error { return run(src, "x", "main", 14, "", 0, "3", null) }},
+		{"absent file", func() error { return run("/no/such/file", "", "main", 1, "", 0, "3", null) }},
+		{"unexecuted block", func() error { return run(src, "0", "main", 7, "", 0, "3", null) }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}

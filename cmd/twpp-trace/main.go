@@ -1,0 +1,81 @@
+// Command twpp-trace executes a minilang program under whole-program-
+// path instrumentation and writes the raw (uncompacted) WPP file.
+//
+// Usage:
+//
+//	twpp-trace -src prog.mini [-input 1,2,3] [-o trace.wpp] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"twpp"
+)
+
+func main() {
+	var (
+		srcPath = flag.String("src", "", "minilang source file (required)")
+		input   = flag.String("input", "", "comma-separated integers consumed by read statements")
+		out     = flag.String("o", "trace.wpp", "output raw WPP file")
+		stats   = flag.Bool("stats", true, "print trace statistics")
+	)
+	flag.Parse()
+	if err := run(*srcPath, *input, *out, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "twpp-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(srcPath, input, out string, stats bool) error {
+	if srcPath == "" {
+		return fmt.Errorf("missing -src")
+	}
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		return err
+	}
+	prog, err := twpp.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	vals, err := parseInput(input)
+	if err != nil {
+		return err
+	}
+	run, err := prog.Trace(vals)
+	if err != nil {
+		return err
+	}
+	if err := twpp.WriteRawFile(out, run.WPP); err != nil {
+		return err
+	}
+	if stats {
+		dcg, traces := run.WPP.RawSizes()
+		fmt.Printf("wrote %s: %d calls, %d blocks, DCG %d bytes, traces %d bytes\n",
+			out, run.WPP.NumCalls(), run.WPP.NumBlocks(), dcg, traces)
+		if len(run.Output) > 0 {
+			fmt.Printf("program output: %v\n", run.Output)
+		}
+	}
+	return nil
+}
+
+func parseInput(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input value %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

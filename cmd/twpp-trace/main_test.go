@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"twpp"
+)
+
+func TestParseInput(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int64
+		err  bool
+	}{
+		{"", nil, false},
+		{"1", []int64{1}, false},
+		{"1, -2, 3", []int64{1, -2, 3}, false},
+		{"x", nil, true},
+		{"1,,2", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseInput(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("parseInput(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.err && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseInput(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.mini")
+	if err := os.WriteFile(src, []byte(`
+func main() {
+    read n;
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        s = s + i;
+    }
+    print(s);
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "t.wpp")
+	if err := run(src, "5", out, false); err != nil {
+		t.Fatal(err)
+	}
+	w, err := twpp.ReadRawFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumCalls() != 1 {
+		t.Errorf("calls = %d", w.NumCalls())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", "", "out", false); err == nil {
+		t.Error("missing src: want error")
+	}
+	if err := run(filepath.Join(dir, "absent.mini"), "", "out", false); err == nil {
+		t.Error("absent file: want error")
+	}
+	bad := filepath.Join(dir, "bad.mini")
+	os.WriteFile(bad, []byte("not a program"), 0o644)
+	if err := run(bad, "", filepath.Join(dir, "o"), false); err == nil {
+		t.Error("bad program: want error")
+	}
+	good := filepath.Join(dir, "good.mini")
+	os.WriteFile(good, []byte("func main() { print(1); }"), 0o644)
+	if err := run(good, "zzz", filepath.Join(dir, "o"), false); err == nil {
+		t.Error("bad input vector: want error")
+	}
+}

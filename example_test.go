@@ -1,0 +1,120 @@
+package twpp_test
+
+import (
+	"fmt"
+	"log"
+
+	"twpp"
+)
+
+// The godoc examples double as executable documentation: each runs the
+// real pipeline end to end and asserts its printed output.
+
+const exampleSrc = `
+func main() {
+    var total = 0;
+    for (var i = 0; i < 10; i = i + 1) {
+        total = total + double(i);
+    }
+    print(total);
+}
+func double(x) {
+    return x * 2;
+}
+`
+
+// Example demonstrates the core pipeline: compile, trace, compact.
+func Example() {
+	prog, err := twpp.Compile(exampleSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := prog.Trace(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw, stats := twpp.Compact(run.WPP)
+	fmt.Printf("output=%v calls=%d unique=%d\n", run.Output, stats.Calls, stats.UniqueTraces)
+	traceBytes, dictBytes := tw.SizeStats()
+	fmt.Printf("compacted to %d bytes (from %d)\n", traceBytes+dictBytes, stats.RawTraceBytes)
+	// Output:
+	// output=[90] calls=11 unique=2
+	// compacted to 124 bytes (from 176)
+}
+
+// ExampleQuery runs a profile-limited GEN-KILL query on a dynamic CFG
+// (the paper's Figure 9 scenario in miniature).
+func ExampleQuery() {
+	// A loop alternating two paths: block 2 generates the fact, block
+	// 4 kills it, block 5 is queried.
+	path := twpp.PathTrace{1, 2, 3, 5, 1, 2, 4, 5, 1, 2, 3, 5}
+	g := twpp.DynamicCFGFromPath(path)
+	effect := func(b twpp.BlockID) twpp.Effect {
+		switch b {
+		case 2:
+			return twpp.GenFact
+		case 4:
+			return twpp.KillFact
+		}
+		return twpp.TransparentFact
+	}
+	res, err := twpp.Query(g, effect, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("holds %s: true at %s, false at %s\n", res.Holds(), res.True, res.False)
+	// Output:
+	// holds sometimes: true at [4,12], false at [8]
+}
+
+// ExampleCurrency reproduces the paper's Figure 12 determination.
+func ExampleCurrency() {
+	m := twpp.Motion{Var: "X", From: 1, To: 2}
+	for _, path := range []twpp.PathTrace{{1, 2, 3}, {1, 4, 3}} {
+		tg := twpp.DynamicCFGFromPath(path)
+		v, err := twpp.Currency(tg, m, 3, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("path %v: current=%v\n", path, v.Current)
+	}
+	// Output:
+	// path [1 2 3]: current=true
+	// path [1 4 3]: current=false
+}
+
+// ExampleProgram_LoadRedundancy measures dynamic load redundancy on a
+// small kernel.
+func ExampleProgram_LoadRedundancy() {
+	src := `
+func main() {
+    var a = alloc(2);
+    a[0] = 1;
+    var s = 0;
+    for (var i = 0; i < 10; i = i + 1) {
+        var x = a[0];
+        var y = a[0];
+        s = s + x + y;
+    }
+    print(s);
+}
+`
+	prog, err := twpp.CompileMode(src, twpp.PerStatement)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := prog.Trace(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := prog.LoadRedundancy(0, run.MainTrace())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("B%d: %d/%d redundant\n", r.Site.Block, r.Redundant, r.Executions)
+	}
+	// Output:
+	// B6: 9/10 redundant
+	// B7: 10/10 redundant
+}

@@ -1,0 +1,68 @@
+// Currency: debugging optimized code with a TWPP (paper §4.3.2,
+// Figure 12). Partial dead code elimination sank an assignment of X
+// out of a shared block into the branch that uses it; whether the
+// user-visible value of X at a breakpoint is *current* depends on the
+// path actually executed — which the timestamped trace records.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twpp/internal/currency"
+	"twpp/internal/dataflow"
+	"twpp/internal/wpp"
+)
+
+// Unoptimized program (what the user debugs against):
+//
+//	B1: X = compute(); ...      <- assignment lives here
+//	B2: use(X)                   (then-branch)
+//	B4: other()                  (else-branch)
+//	B3: breakpoint
+//
+// The optimizer sank "X = compute()" from B1 into B2 because only the
+// then-branch uses it. The executing (optimized) program still has
+// blocks B1/B2/B4/B3; the trace below is what actually ran.
+func main() {
+	motion := currency.Motion{Var: "X", From: 1, To: 2}
+
+	fmt.Println("optimization: assignment of X sunk from B1 into B2 (partial dead code elimination)")
+	fmt.Println("breakpoint in B3; user asks for the value of X")
+	fmt.Println()
+
+	paths := []wpp.PathTrace{
+		{1, 2, 3}, // then-branch executed: sunk assignment ran
+		{1, 4, 3}, // else-branch executed: sunk assignment skipped
+	}
+	for _, path := range paths {
+		tg := dataflow.BuildFromPath(path)
+		v, err := currency.At(tg, motion, 3, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		state := "NON-CURRENT (report stale value to the user)"
+		if v.Current {
+			state = "current (safe to display)"
+		}
+		fmt.Printf("executed path %v:\n  X is %s\n  %s\n\n", path, state, v.Reason)
+	}
+
+	// A looped execution mixes both cases; classify every breakpoint
+	// instance at once using the compacted timestamp sets.
+	looped := wpp.PathTrace{1, 2, 3, 1, 4, 3, 1, 2, 3, 1, 4, 3}
+	tg := dataflow.BuildFromPath(looped)
+	cur, non, err := currency.AtAll(tg, motion, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("looped execution %v:\n", looped)
+	fmt.Printf("  X current at breakpoint times     %s\n", cur)
+	fmt.Printf("  X non-current at breakpoint times %s\n", non)
+
+	// Show the underlying timestamp annotations.
+	fmt.Println("\ntimestamp annotations of the dynamic CFG:")
+	for _, n := range tg.Nodes {
+		fmt.Printf("  B%d -> %s\n", n.Block, n.Times)
+	}
+}

@@ -1,0 +1,101 @@
+// Quickstart: trace a program, compact its whole program path, store
+// it, and query one function's traces back — the 30-second tour of the
+// library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"twpp"
+)
+
+const src = `
+func main() {
+    var total = 0;
+    for (var i = 0; i < 200; i = i + 1) {
+        total = total + compute(i % 4, 10 + (i % 3));
+    }
+    print(total);
+}
+
+func compute(mode, n) {
+    var acc = mode;
+    var j = 0;
+    while (j < n) {
+        if (mode % 2 == 0) {
+            acc = acc + j;
+        } else {
+            acc = acc * 2;
+            acc = acc % 1000;
+        }
+        j = j + 1;
+    }
+    return acc;
+}
+`
+
+func main() {
+	// 1. Compile and run under WPP instrumentation.
+	prog, err := twpp.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := prog.Trace(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dcgBytes, traceBytes := run.WPP.RawSizes()
+	fmt.Printf("execution: %d calls, %d block events (raw WPP: %d bytes)\n",
+		run.WPP.NumCalls(), run.WPP.NumBlocks(), dcgBytes+traceBytes)
+
+	// 2. Compact: redundant-trace elimination + DBB dictionaries +
+	//    timestamp transformation.
+	tw, stats := twpp.Compact(run.WPP)
+	twppBytes, dictBytes := tw.SizeStats()
+	fmt.Printf("compaction: %d calls -> %d unique traces; traces %d B -> %d B (TWPP+dicts)\n",
+		stats.Calls, stats.UniqueTraces, stats.RawTraceBytes, twppBytes+dictBytes)
+
+	// 3. Store in the indexed file format.
+	dir, err := os.MkdirTemp("", "twpp-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "trace.twpp")
+	if err := twpp.WriteFile(path, tw); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("stored: %s (%d bytes on disk)\n", path, fi.Size())
+
+	// 4. Reopen and extract the hottest function with one seek.
+	f, err := twpp.OpenFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	hottest := f.Functions()[0]
+	ft, err := f.ExtractFunction(hottest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hottest function: %s, %d calls, %d unique path traces\n",
+		f.FuncNames[hottest], ft.CallCount, len(ft.Traces))
+	for i, tr := range ft.Traces {
+		fmt.Printf("  trace %d (length %d):\n", i, tr.Len)
+		for _, bt := range tr.Blocks {
+			fmt.Printf("    block %-3d executed at t = %s\n", bt.Block, bt.Times)
+		}
+	}
+
+	// 5. The compacted form is lossless: rebuild the original WPP.
+	back, err := twpp.Reconstruct(tw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round trip: reconstructed WPP has %d blocks (original %d)\n",
+		back.NumBlocks(), run.WPP.NumBlocks())
+}

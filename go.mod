@@ -1,0 +1,3 @@
+module twpp
+
+go 1.22

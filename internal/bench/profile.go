@@ -1,0 +1,313 @@
+// Package bench generates the synthetic SPECint95-like workloads and
+// runs the experiment harness that regenerates every table and figure
+// of Zhang & Gupta (PLDI 2001).
+//
+// The paper collected WPPs from five SPECint95 benchmarks through the
+// Trimaran infrastructure. Those binaries and inputs are not
+// reproducible here, so each benchmark is replaced by a *profile*: a
+// generated minilang program whose dynamic characteristics — calls per
+// function, unique path traces per function, loop length and
+// regularity — are tuned to mimic what the paper reports for that
+// benchmark. The absolute trace sizes are scaled down (MBs rather than
+// 100s of MBs) so the suite runs in minutes; the compaction *factors*
+// and access-time *ratios* are the reproduced quantities.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// BodyStyle selects the control structure of generated worker loop
+// bodies, the main lever on DBB-dictionary and TWPP compressibility.
+type BodyStyle int
+
+const (
+	// Regular bodies are straight-line: the whole loop body collapses
+	// into one dynamic basic block and timestamps form long arithmetic
+	// series (perl/ijpeg-like behavior; huge TWPP gains).
+	Regular BodyStyle = iota
+	// Periodic bodies branch on a modular condition: outcomes repeat
+	// with a short period, so each arm's timestamps still form
+	// arithmetic series (li/gcc-like).
+	Periodic
+	// Irregular bodies branch on a pseudo-random recurrence computed
+	// in-program: outcomes are aperiodic, defeating both DBB chains
+	// and arithmetic series (go-like; TWPP ≈ 1x as in the paper, where
+	// 099.go's TWPP was 3% *larger*).
+	Irregular
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	// Name of the benchmark this profile mimics, e.g. "099.go-like".
+	Name string
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumFuncs is the number of worker functions.
+	NumFuncs int
+	// DriverIters is the number of iterations of main's driver loop;
+	// scaled by the harness Scale knob.
+	DriverIters int
+	// MaxVariants bounds the number of unique path traces a worker can
+	// produce (the X axis of the paper's Figure 8): each call selects
+	// one of MaxVariants (selector, trip count) combinations.
+	MaxVariants int
+	// LoopLo and LoopHi bound worker loop trip counts.
+	LoopLo, LoopHi int
+	// Style selects loop body structure.
+	Style BodyStyle
+	// ColdFraction of the functions are called rarely (every 64th
+	// driver iteration), giving the hot/cold skew the file index
+	// exploits.
+	ColdFraction float64
+	// TailFraction of the functions receive near-unique argument pairs
+	// on every call, so almost every invocation produces a fresh path
+	// trace. This reproduces the heavy tail of the paper's Figure 8
+	// (functions with hundreds of unique traces) and keeps the
+	// redundancy-removal factor in the paper's 5.66-9.50 band rather
+	// than collapsing everything.
+	TailFraction float64
+	// NestedCalls makes a fraction of workers call a helper inside
+	// their loops, deepening the DCG.
+	NestedCalls bool
+	// DeadFuncs is the number of generated functions that are never
+	// called. Real benchmark binaries carry large amounts of code the
+	// profiled input never reaches (the paper's Table 6 shows static
+	// flow graphs far larger than the cumulative dynamic ones); dead
+	// functions reproduce that static/dynamic asymmetry without
+	// affecting the traces.
+	DeadFuncs int
+}
+
+// Profiles returns the five benchmark profiles mimicking Table 1's
+// programs. Scale multiplies driver iterations (1.0 ≈ a few million
+// trace blocks per benchmark, matching the paper's shape at roughly
+// 1/100th the size).
+func Profiles() []Profile {
+	return []Profile{
+		{
+			// 099.go: branchy, irregular control flow; many unique
+			// traces per function (50% of calls from functions with
+			// <= 50 unique traces); dictionaries help modestly and
+			// TWPP adds nothing (x0.97 in the paper).
+			Name: "099.go-like", Seed: 99, NumFuncs: 40, DriverIters: 800,
+			MaxVariants: 50, LoopLo: 6, LoopHi: 26, Style: Irregular,
+			ColdFraction: 0.25, TailFraction: 0.16, NestedCalls: true, DeadFuncs: 1300,
+		},
+		{
+			// 126.gcc: very many functions, moderate redundancy
+			// (<= 25 unique traces), mixed regularity.
+			Name: "126.gcc-like", Seed: 126, NumFuncs: 120, DriverIters: 600,
+			MaxVariants: 25, LoopLo: 5, LoopHi: 18, Style: Periodic,
+			ColdFraction: 0.4, TailFraction: 0.24, NestedCalls: true, DeadFuncs: 1800,
+		},
+		{
+			// 130.li: small interpreter, few unique traces (57-80% of
+			// calls from functions with <= 5), short regular loops,
+			// strong TWPP gains (x4.81).
+			Name: "130.li-like", Seed: 130, NumFuncs: 30, DriverIters: 800,
+			MaxVariants: 5, LoopLo: 12, LoopHi: 40, Style: Periodic,
+			ColdFraction: 0.2, TailFraction: 0.40, NestedCalls: true, DeadFuncs: 700,
+		},
+		{
+			// 132.ijpeg: image kernels: long regular loops, few
+			// variants, strong redundancy removal (x9.5) and good
+			// TWPP gains (x3.65).
+			Name: "132.ijpeg-like", Seed: 132, NumFuncs: 25, DriverIters: 250,
+			MaxVariants: 4, LoopLo: 80, LoopHi: 220, Style: Regular,
+			ColdFraction: 0.2, TailFraction: 0.20, NestedCalls: false, DeadFuncs: 120,
+		},
+		{
+			// 134.perl: very regular interpreter loops, tiny variant
+			// count, extreme TWPP gains (x85 in the paper).
+			Name: "134.perl-like", Seed: 134, NumFuncs: 35, DriverIters: 70,
+			MaxVariants: 3, LoopLo: 250, LoopHi: 700, Style: Regular,
+			ColdFraction: 0.3, TailFraction: 0.12, NestedCalls: false, DeadFuncs: 250,
+		},
+	}
+}
+
+// ProfileByName finds a profile by (prefix of its) name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name || strings.HasPrefix(p.Name, name) {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("bench: unknown profile %q", name)
+}
+
+// Generate emits the minilang source of the profile's program. scale
+// multiplies the driver iteration count.
+func (p Profile) Generate(scale float64) string {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var b strings.Builder
+
+	iters := int(float64(p.DriverIters) * scale)
+	if iters < 1 {
+		iters = 1
+	}
+
+	// Driver.
+	fmt.Fprintf(&b, "// Synthetic workload %s (seed %d).\n", p.Name, p.Seed)
+	b.WriteString("func main() {\n")
+	b.WriteString("    var i = 0;\n")
+	fmt.Fprintf(&b, "    while (i < %d) {\n", iters)
+	tailFuncs := int(float64(p.NumFuncs) * p.TailFraction)
+	for f := 0; f < p.NumFuncs; f++ {
+		lo := p.LoopLo + rng.Intn(p.LoopHi-p.LoopLo+1)
+		var call string
+		if f < tailFuncs {
+			// Tail function: selector and trip count cycle with
+			// coprime periods (13 and 23), so the argument pair — and
+			// hence the path trace — cycles through lcm(13,23) = 299
+			// distinct values: a heavy (but bounded) unique-trace tail.
+			call = fmt.Sprintf("w%d(i %% 13, %d + ((i * 7) %% 23));", f, p.LoopLo)
+			fmt.Fprintf(&b, "        %s\n", call)
+			continue
+		}
+		cold := rng.Float64() < p.ColdFraction
+		variants := 1 + rng.Intn(p.MaxVariants)
+		// Selector and trip count derived from the driver counter so
+		// each function sees `variants` distinct argument pairs.
+		sels := 1 + rng.Intn(variants)
+		trips := (variants + sels - 1) / sels
+		call = fmt.Sprintf("w%d(i %% %d, %d + (i %% %d));", f, sels, lo, trips)
+		if cold {
+			fmt.Fprintf(&b, "        if (i %% 64 == %d) {\n            %s\n        }\n", rng.Intn(64), call)
+		} else {
+			fmt.Fprintf(&b, "        %s\n", call)
+		}
+	}
+	b.WriteString("        i = i + 1;\n")
+	b.WriteString("    }\n")
+	b.WriteString("    print(i);\n")
+	b.WriteString("}\n\n")
+
+	// Workers.
+	for f := 0; f < p.NumFuncs; f++ {
+		p.generateWorker(&b, rng, f)
+	}
+	// Never-called functions (cold code).
+	for f := 0; f < p.DeadFuncs; f++ {
+		generateDeadFunc(&b, rng, f)
+	}
+	// Shared helper for nested calls.
+	if p.NestedCalls {
+		b.WriteString(`
+func helper(v) {
+    var r = 0;
+    var k = 0;
+    while (k < 3) {
+        r = r + v;
+        k = k + 1;
+    }
+    return r;
+}
+`)
+	}
+	return b.String()
+}
+
+// generateWorker emits one worker function. Every worker's loop body
+// has two sections:
+//
+//   - a *call-constant* section of branches conditioned only on the
+//     selector argument: within one invocation every iteration takes
+//     the same arms, so the blocks form chains in the dynamic CFG —
+//     exactly the dynamic basic blocks the dictionary stage folds;
+//
+//   - a *varying* section whose structure depends on the profile's
+//     style, controlling whether the remaining timestamps form
+//     arithmetic series (Periodic/Regular) or not (Irregular).
+func (p Profile) generateWorker(b *strings.Builder, rng *rand.Rand, f int) {
+	fmt.Fprintf(b, "func w%d(sel, n) {\n", f)
+	b.WriteString("    var acc = sel;\n")
+	// Prologue branch: distinct selectors reach distinct paths, which
+	// multiplies unique traces beyond trip-count variation.
+	if rng.Intn(2) == 0 {
+		b.WriteString("    if (sel % 2 == 0) {\n        acc = acc + 1;\n    } else {\n        acc = acc * 2;\n    }\n")
+	}
+	b.WriteString("    var j = 0;\n")
+	b.WriteString("    while (j < n) {\n")
+
+	// Call-constant section: chain fodder. More constant branches =
+	// longer chains = bigger dictionary wins.
+	var constBranches int
+	switch p.Style {
+	case Regular:
+		constBranches = 2 + rng.Intn(3) // ijpeg/perl: long chains
+	case Periodic:
+		constBranches = 1 + rng.Intn(2) // li/gcc: moderate chains
+	case Irregular:
+		constBranches = 1 // go: short chains (x1.58 in the paper)
+	}
+	for c := 0; c < constBranches; c++ {
+		div := 2 + (c+rng.Intn(3))%5
+		fmt.Fprintf(b, "        if (sel %% %d == %d) {\n", div, rng.Intn(div))
+		fmt.Fprintf(b, "            acc = acc + %d;\n", 1+rng.Intn(9))
+		b.WriteString("        } else {\n")
+		fmt.Fprintf(b, "            acc = acc - %d;\n", 1+rng.Intn(5))
+		b.WriteString("        }\n")
+	}
+
+	// Varying section.
+	switch p.Style {
+	case Regular:
+		// Nothing varies within a call: the whole body is one chain
+		// and the compacted trace is a pure arithmetic series.
+	case Periodic:
+		period := 2 + rng.Intn(4)
+		fmt.Fprintf(b, "        if ((j + sel) %% %d == 0) {\n", period)
+		b.WriteString("            acc = acc + j;\n")
+		b.WriteString("        } else {\n")
+		b.WriteString("            acc = acc - 1;\n")
+		b.WriteString("        }\n")
+	case Irregular:
+		// In-program linear congruential recurrence drives the
+		// branches: aperiodic in j, so arm timestamps do not form
+		// arithmetic series and the TWPP stage gains nothing.
+		fmt.Fprintf(b, "        acc = (acc * %d + %d) %% 8191;\n", 1103515245%8191, 12345)
+		b.WriteString("        if (acc % 2 == 0) {\n")
+		b.WriteString("            acc = acc + 3;\n")
+		b.WriteString("        } else {\n")
+		fmt.Fprintf(b, "            if (acc %% %d == 1) {\n", 3+rng.Intn(4))
+		b.WriteString("                acc = acc + 7;\n")
+		b.WriteString("            } else {\n")
+		b.WriteString("                acc = acc - 5;\n")
+		b.WriteString("            }\n")
+		b.WriteString("        }\n")
+	}
+	if p.NestedCalls && rng.Intn(3) == 0 {
+		b.WriteString("        if (j == 0) {\n            acc = acc + helper(sel);\n        }\n")
+	}
+	b.WriteString("        j = j + 1;\n")
+	b.WriteString("    }\n")
+	b.WriteString("    return acc;\n")
+	b.WriteString("}\n\n")
+}
+
+// generateDeadFunc emits one function that the driver never calls:
+// cold code that inflates the static flow graphs exactly as unexercised
+// library code inflates real binaries.
+func generateDeadFunc(b *strings.Builder, rng *rand.Rand, f int) {
+	fmt.Fprintf(b, "func dead%d(p, q) {\n", f)
+	b.WriteString("    var r = p;\n")
+	branches := 6 + rng.Intn(8)
+	for c := 0; c < branches; c++ {
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(b, "    if (r %% %d == %d) {\n        r = r + q;\n    } else {\n        r = r - %d;\n    }\n",
+				2+rng.Intn(5), rng.Intn(2), 1+rng.Intn(4))
+		case 1:
+			fmt.Fprintf(b, "    while (r > %d) {\n        r = r / 2;\n    }\n", 10+rng.Intn(90))
+		case 2:
+			fmt.Fprintf(b, "    for (var k%d = 0; k%d < q; k%d = k%d + 1) {\n        r = r + k%d;\n    }\n",
+				c, c, c, c, c)
+		}
+	}
+	b.WriteString("    return r;\n")
+	b.WriteString("}\n\n")
+}

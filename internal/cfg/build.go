@@ -1,0 +1,389 @@
+package cfg
+
+import (
+	"fmt"
+
+	"twpp/internal/minilang"
+)
+
+// Mode selects the block granularity of the built graphs.
+type Mode int
+
+const (
+	// MaxBlocks groups maximal straight-line statement sequences into
+	// one block (the usual compiler notion). Used for trace collection
+	// and the compaction experiments.
+	MaxBlocks Mode = iota
+	// PerStatement gives every statement (and every branch condition)
+	// its own block, matching the node-per-statement examples in the
+	// paper's §4 (Figures 9-12).
+	PerStatement
+)
+
+// Build constructs CFGs for every function in the program.
+func Build(src *minilang.Program, mode Mode) (*Program, error) {
+	p := &Program{Src: src}
+	for _, fn := range src.Funcs {
+		g, err := buildFunc(fn, mode)
+		if err != nil {
+			return nil, err
+		}
+		p.Graphs = append(p.Graphs, g)
+	}
+	return p, nil
+}
+
+// MustBuild is Build for known-good inputs (tests, generated code);
+// it panics on error.
+func MustBuild(src *minilang.Program, mode Mode) *Program {
+	p, err := Build(src, mode)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// builder holds per-function construction state.
+type builder struct {
+	fn     *minilang.FuncDecl
+	mode   Mode
+	blocks []*Block
+	exit   *Block
+	// Loop context stack for break/continue resolution.
+	loops []loopCtx
+}
+
+type loopCtx struct {
+	continueTo *Block // loop head (while) or post block (for)
+	breakTo    *Block // block after the loop
+}
+
+func buildFunc(fn *minilang.FuncDecl, mode Mode) (*Graph, error) {
+	b := &builder{fn: fn, mode: mode}
+	entry := b.newBlock()
+	b.exit = b.newBlock()
+
+	cur, err := b.stmts(entry, fn.Body.Stmts)
+	if err != nil {
+		return nil, err
+	}
+	// Fall off the end: implicit return.
+	if cur != nil {
+		b.setTerm(cur, &Ret{Exit: b.exit})
+	}
+
+	g := &Graph{Fn: fn, Exit: b.exit, Entry: entry}
+	b.finish(g)
+	return g, nil
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// deferredBlock creates a block without registering it for numbering;
+// register must be called exactly once before finish.
+func (b *builder) deferredBlock() *Block { return &Block{} }
+
+// register assigns a deferred block its place in creation order.
+func (b *builder) register(blk *Block) { b.blocks = append(b.blocks, blk) }
+
+func (b *builder) setTerm(blk *Block, t Terminator) {
+	if blk.Term != nil {
+		panic("cfg: block already terminated")
+	}
+	blk.Term = t
+}
+
+// seal ends the current block with a goto to a fresh block when in
+// PerStatement mode; in MaxBlocks mode it keeps appending to cur.
+func (b *builder) seal(cur *Block) *Block {
+	if b.mode != PerStatement {
+		return cur
+	}
+	next := b.newBlock()
+	b.setTerm(cur, &Goto{Target: next})
+	return next
+}
+
+// stmts lowers a statement list starting in cur. It returns the block
+// in which control continues afterwards, or nil if control cannot fall
+// through (ended by return/break/continue on all paths).
+func (b *builder) stmts(cur *Block, list []minilang.Stmt) (*Block, error) {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/break/continue: legal in
+			// the language, simply not lowered.
+			return nil, nil
+		}
+		var err error
+		cur, err = b.stmt(cur, s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func (b *builder) stmt(cur *Block, s minilang.Stmt) (*Block, error) {
+	switch x := s.(type) {
+	case *minilang.BlockStmt:
+		return b.stmts(cur, x.Stmts)
+
+	case *minilang.AssignStmt, *minilang.VarStmt, *minilang.PrintStmt,
+		*minilang.ReadStmt, *minilang.ExprStmt:
+		if len(cur.Stmts) > 0 && b.mode == PerStatement {
+			cur = b.seal(cur)
+		}
+		cur.Stmts = append(cur.Stmts, s)
+		return cur, nil
+
+	case *minilang.IfStmt:
+		// Blocks are created in source order (then-branch, else-branch,
+		// join) so that per-statement block numbering matches the
+		// statement numbering used in the paper's examples.
+		condBlock := cur
+		if b.mode == PerStatement && len(cur.Stmts) > 0 {
+			condBlock = b.seal(cur)
+		}
+		thenB := b.newBlock()
+		thenEnd, err := b.stmts(thenB, x.Then.Stmts)
+		if err != nil {
+			return nil, err
+		}
+		var elseB, elseEnd *Block
+		if x.Else != nil {
+			elseB = b.newBlock()
+			elseEnd, err = b.stmt(elseB, x.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		join := b.newBlock()
+		elseTarget := join
+		if elseB != nil {
+			elseTarget = elseB
+		}
+		b.setTerm(condBlock, &CondJump{Cond: x.Cond, Then: thenB, Else: elseTarget})
+		if thenEnd != nil {
+			b.setTerm(thenEnd, &Goto{Target: join})
+		}
+		if elseEnd != nil {
+			b.setTerm(elseEnd, &Goto{Target: join})
+		}
+		return join, nil
+
+	case *minilang.WhileStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		// The after-loop block must exist before lowering the body
+		// (break targets it) but must be numbered after the body's
+		// blocks; defer its registration.
+		after := b.deferredBlock()
+		b.setTerm(cur, &Goto{Target: head})
+
+		b.loops = append(b.loops, loopCtx{continueTo: head, breakTo: after})
+		bodyEnd, err := b.stmts(body, x.Body.Stmts)
+		b.loops = b.loops[:len(b.loops)-1]
+		if err != nil {
+			return nil, err
+		}
+		b.register(after)
+		b.setTerm(head, &CondJump{Cond: x.Cond, Then: body, Else: after})
+		if bodyEnd != nil {
+			b.setTerm(bodyEnd, &Goto{Target: head})
+		}
+		return after, nil
+
+	case *minilang.ForStmt:
+		if x.Init != nil {
+			var err error
+			cur, err = b.stmt(cur, x.Init)
+			if err != nil {
+				return nil, err
+			}
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.deferredBlock()
+		after := b.deferredBlock()
+		b.setTerm(cur, &Goto{Target: head})
+		cond := x.Cond
+		if cond == nil {
+			cond = &minilang.NumberLit{Value: 1, Pos: x.Pos}
+		}
+
+		b.loops = append(b.loops, loopCtx{continueTo: post, breakTo: after})
+		bodyEnd, err := b.stmts(body, x.Body.Stmts)
+		b.loops = b.loops[:len(b.loops)-1]
+		if err != nil {
+			return nil, err
+		}
+		b.register(post)
+		b.register(after)
+		b.setTerm(head, &CondJump{Cond: cond, Then: body, Else: after})
+		if bodyEnd != nil {
+			b.setTerm(bodyEnd, &Goto{Target: post})
+		}
+		if x.Post != nil {
+			end, err := b.stmt(post, x.Post)
+			if err != nil {
+				return nil, err
+			}
+			post = end
+		}
+		b.setTerm(post, &Goto{Target: head})
+		return after, nil
+
+	case *minilang.ReturnStmt:
+		b.setTerm(cur, &Ret{Value: x.Value, Exit: b.exit})
+		return nil, nil
+
+	case *minilang.BreakStmt:
+		if len(b.loops) == 0 {
+			return nil, fmt.Errorf("cfg: %s: break outside loop in %s", x.Pos, b.fn.Name)
+		}
+		b.setTerm(cur, &Goto{Target: b.loops[len(b.loops)-1].breakTo})
+		return nil, nil
+
+	case *minilang.ContinueStmt:
+		if len(b.loops) == 0 {
+			return nil, fmt.Errorf("cfg: %s: continue outside loop in %s", x.Pos, b.fn.Name)
+		}
+		b.setTerm(cur, &Goto{Target: b.loops[len(b.loops)-1].continueTo})
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("cfg: unknown statement %T", s)
+	}
+}
+
+// finish prunes unreachable blocks, simplifies the graph in MaxBlocks
+// mode, computes predecessor lists, and assigns ids (entry first, exit
+// last).
+func (b *builder) finish(g *Graph) {
+	if b.mode == MaxBlocks {
+		b.simplify(g)
+	}
+	// Reachability from the entry.
+	reach := map[*Block]bool{}
+	var stack []*Block
+	push := func(blk *Block) {
+		if !reach[blk] {
+			reach[blk] = true
+			stack = append(stack, blk)
+		}
+	}
+	push(g.Entry)
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk.Term != nil {
+			for _, t := range blk.Term.Targets() {
+				push(t)
+			}
+		}
+	}
+	// Keep reachable blocks in creation order; exit goes last even if
+	// it is unreachable (a function that cannot return still has one).
+	var kept []*Block
+	for _, blk := range b.blocks {
+		if blk != b.exit && reach[blk] {
+			kept = append(kept, blk)
+		}
+	}
+	kept = append(kept, b.exit)
+	for i, blk := range kept {
+		blk.ID = BlockID(i + 1)
+		blk.Succs = nil
+		blk.Preds = nil
+	}
+	for _, blk := range kept {
+		if blk.Term == nil {
+			continue
+		}
+		for _, t := range blk.Term.Targets() {
+			blk.Succs = append(blk.Succs, t)
+			t.Preds = append(t.Preds, blk)
+		}
+	}
+	g.Blocks = kept
+}
+
+// simplify performs two classic cleanups: skipping empty goto-only
+// blocks, and merging a block into its single predecessor when that
+// predecessor's only successor is the block.
+func (b *builder) simplify(g *Graph) {
+	// Pass 1: short-circuit empty forwarding blocks. An empty block
+	// whose terminator is an unconditional goto contributes nothing.
+	forward := func(blk *Block) *Block {
+		seen := map[*Block]bool{}
+		for {
+			if blk == b.exit || len(blk.Stmts) > 0 || seen[blk] {
+				return blk
+			}
+			gt, ok := blk.Term.(*Goto)
+			if !ok {
+				return blk
+			}
+			seen[blk] = true
+			blk = gt.Target
+		}
+	}
+	for _, blk := range b.blocks {
+		switch t := blk.Term.(type) {
+		case *Goto:
+			t.Target = forward(t.Target)
+		case *CondJump:
+			t.Then = forward(t.Then)
+			t.Else = forward(t.Else)
+		}
+	}
+	g.Entry = forward(g.Entry)
+
+	// Pass 2: merge straight-line chains. Count predecessors among
+	// blocks reachable from the (possibly forwarded) entry.
+	preds := map[*Block]int{}
+	reach := map[*Block]bool{}
+	var stack []*Block
+	push := func(blk *Block) {
+		if !reach[blk] {
+			reach[blk] = true
+			stack = append(stack, blk)
+		}
+	}
+	push(g.Entry)
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk.Term == nil {
+			continue
+		}
+		for _, t := range blk.Term.Targets() {
+			preds[t]++
+			push(t)
+		}
+	}
+	for _, blk := range b.blocks {
+		if !reach[blk] {
+			continue
+		}
+		for {
+			gt, ok := blk.Term.(*Goto)
+			if !ok {
+				break
+			}
+			tgt := gt.Target
+			if tgt == b.exit || tgt == blk || preds[tgt] != 1 || tgt == g.Entry {
+				break
+			}
+			// Absorb tgt into blk.
+			blk.Stmts = append(blk.Stmts, tgt.Stmts...)
+			blk.Term = tgt.Term
+			tgt.Term = nil
+			tgt.Stmts = nil
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package cfg builds and analyzes control flow graphs for minilang
+// functions. It provides the static program representation that the
+// whole system hangs off: the tracing interpreter executes these
+// graphs, the WPP compactor speaks their block ids, and the dataflow /
+// slicing applications consume their def-use and dominance information.
+//
+// Blocks are numbered from 1 in construction order, with the entry
+// block always 1 and the single synthetic exit block always last —
+// matching the numbering style of the examples in Zhang & Gupta
+// (PLDI 2001).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"twpp/internal/minilang"
+)
+
+// BlockID identifies a basic block within one function. Valid ids are
+// 1-based; 0 is "no block".
+type BlockID int
+
+// FuncID identifies a function within a program (its index in
+// Program.Funcs).
+type FuncID int
+
+// Block is one basic block.
+type Block struct {
+	ID BlockID
+	// Stmts are the straight-line statements executed when control
+	// enters the block, in order. Control-flow statements never appear
+	// here; they are represented by Term.
+	Stmts []minilang.Stmt
+	// Term decides the successor. It is nil only on the exit block.
+	Term Terminator
+	// Succs and Preds are the forward and backward edges.
+	Succs []*Block
+	Preds []*Block
+}
+
+// Terminator is the control transfer at the end of a block.
+type Terminator interface {
+	termNode()
+	// Targets lists the successor blocks in branch order (taken
+	// first for conditionals).
+	Targets() []*Block
+}
+
+// Goto is an unconditional jump.
+type Goto struct{ Target *Block }
+
+// CondJump branches on Cond: Then when nonzero, Else otherwise.
+type CondJump struct {
+	Cond       minilang.Expr
+	Then, Else *Block
+}
+
+// Ret returns from the function (Value may be nil). Its successor is
+// always the function's exit block.
+type Ret struct {
+	Value minilang.Expr
+	Exit  *Block
+}
+
+func (*Goto) termNode()     {}
+func (*CondJump) termNode() {}
+func (*Ret) termNode()      {}
+
+// Targets implements Terminator.
+func (t *Goto) Targets() []*Block     { return []*Block{t.Target} }
+func (t *CondJump) Targets() []*Block { return []*Block{t.Then, t.Else} }
+func (t *Ret) Targets() []*Block      { return []*Block{t.Exit} }
+
+// Graph is the control flow graph of one function.
+type Graph struct {
+	Fn *minilang.FuncDecl
+	// Blocks[0] is the entry; Blocks[len-1] is the synthetic exit.
+	// Block i has ID i+1.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// Block returns the block with the given id, or nil.
+func (g *Graph) Block(id BlockID) *Block {
+	if id < 1 || int(id) > len(g.Blocks) {
+		return nil
+	}
+	return g.Blocks[id-1]
+}
+
+// NumEdges counts the directed edges in the graph.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, b := range g.Blocks {
+		n += len(b.Succs)
+	}
+	return n
+}
+
+// Program is the CFG form of a whole minilang program.
+type Program struct {
+	Src    *minilang.Program
+	Graphs []*Graph // indexed by FuncID
+}
+
+// Graph returns the CFG of the function with the given id, or nil.
+func (p *Program) Graph(f FuncID) *Graph {
+	if f < 0 || int(f) >= len(p.Graphs) {
+		return nil
+	}
+	return p.Graphs[f]
+}
+
+// FuncByName returns the id and graph of the named function.
+func (p *Program) FuncByName(name string) (FuncID, *Graph, bool) {
+	fd := p.Src.Func(name)
+	if fd == nil {
+		return 0, nil, false
+	}
+	return FuncID(fd.Index), p.Graphs[fd.Index], true
+}
+
+// MainID returns the FuncID of main. Programs are validated at parse
+// time to contain main.
+func (p *Program) MainID() FuncID {
+	return FuncID(p.Src.Func("main").Index)
+}
+
+// String renders the graph in a readable text form for debugging and
+// golden tests.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s:\n", g.Fn.Name)
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "  B%d:", blk.ID)
+		if blk == g.Entry {
+			b.WriteString(" (entry)")
+		}
+		if blk == g.Exit {
+			b.WriteString(" (exit)")
+		}
+		b.WriteByte('\n')
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&b, "    %s\n", minilang.StmtString(s))
+		}
+		switch t := blk.Term.(type) {
+		case *Goto:
+			fmt.Fprintf(&b, "    goto B%d\n", t.Target.ID)
+		case *CondJump:
+			fmt.Fprintf(&b, "    if %s then B%d else B%d\n",
+				minilang.ExprString(t.Cond), t.Then.ID, t.Else.ID)
+		case *Ret:
+			if t.Value != nil {
+				fmt.Fprintf(&b, "    return %s\n", minilang.ExprString(t.Value))
+			} else {
+				fmt.Fprintf(&b, "    return\n")
+			}
+		case nil:
+		}
+	}
+	return b.String()
+}
+
+// sortedIDs returns the ids of the given blocks in ascending order,
+// used by analyses that need deterministic output.
+func sortedIDs(blocks []*Block) []BlockID {
+	ids := make([]BlockID, len(blocks))
+	for i, b := range blocks {
+		ids[i] = b.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

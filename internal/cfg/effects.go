@@ -1,0 +1,169 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"twpp/internal/minilang"
+)
+
+// Loc is an abstract storage location for def/use analysis: either a
+// scalar variable or the element region of an array (all elements of
+// array v are modeled as the single location "v[]", the usual
+// field-insensitive approximation).
+type Loc struct {
+	Var   string
+	Array bool
+}
+
+// String renders the location ("x" or "a[]").
+func (l Loc) String() string {
+	if l.Array {
+		return l.Var + "[]"
+	}
+	return l.Var
+}
+
+// Effects summarizes what one statement or expression reads, writes,
+// and calls.
+type Effects struct {
+	Defs  []Loc
+	Uses  []Loc
+	Calls []string // user function names, in evaluation order
+	// ReadsInput is true for `read x;`.
+	ReadsInput bool
+}
+
+func (e *Effects) addDef(l Loc) { e.Defs = appendLoc(e.Defs, l) }
+func (e *Effects) addUse(l Loc) { e.Uses = appendLoc(e.Uses, l) }
+func appendLoc(s []Loc, l Loc) []Loc {
+	for _, x := range s {
+		if x == l {
+			return s
+		}
+	}
+	return append(s, l)
+}
+
+// ExprEffects collects the uses and calls of an expression.
+func ExprEffects(e minilang.Expr, out *Effects) {
+	switch x := e.(type) {
+	case *minilang.NumberLit:
+	case *minilang.Ident:
+		out.addUse(Loc{Var: x.Name})
+	case *minilang.IndexExpr:
+		out.addUse(Loc{Var: x.Name, Array: true})
+		ExprEffects(x.Index, out)
+	case *minilang.BinaryExpr:
+		ExprEffects(x.X, out)
+		ExprEffects(x.Y, out)
+	case *minilang.UnaryExpr:
+		ExprEffects(x.X, out)
+	case *minilang.CallExpr:
+		for _, a := range x.Args {
+			ExprEffects(a, out)
+		}
+		if !minilang.IsBuiltin(x.Name) {
+			out.Calls = append(out.Calls, x.Name)
+		}
+	default:
+		panic(fmt.Sprintf("cfg.ExprEffects: unknown expression %T", e))
+	}
+}
+
+// StmtEffects computes the effects of one straight-line statement.
+func StmtEffects(s minilang.Stmt) Effects {
+	var e Effects
+	switch x := s.(type) {
+	case *minilang.AssignStmt:
+		ExprEffects(x.Value, &e)
+		if x.Index != nil {
+			ExprEffects(x.Index, &e)
+			e.addDef(Loc{Var: x.Name, Array: true})
+		} else {
+			e.addDef(Loc{Var: x.Name})
+		}
+	case *minilang.VarStmt:
+		ExprEffects(x.Value, &e)
+		e.addDef(Loc{Var: x.Name})
+	case *minilang.PrintStmt:
+		for _, a := range x.Args {
+			ExprEffects(a, &e)
+		}
+	case *minilang.ReadStmt:
+		e.addDef(Loc{Var: x.Name})
+		e.ReadsInput = true
+	case *minilang.ExprStmt:
+		ExprEffects(x.X, &e)
+	default:
+		panic(fmt.Sprintf("cfg.StmtEffects: not a straight-line statement: %T", s))
+	}
+	return e
+}
+
+// BlockEffects aggregates the effects of all statements in a block plus
+// its terminator's condition/value uses. For multi-statement blocks,
+// Defs and Uses are the union (order preserved, duplicates removed);
+// intra-block kill ordering is the consumer's concern.
+func BlockEffects(b *Block) Effects {
+	var e Effects
+	for _, s := range b.Stmts {
+		se := StmtEffects(s)
+		for _, u := range se.Uses {
+			e.addUse(u)
+		}
+		for _, d := range se.Defs {
+			e.addDef(d)
+		}
+		e.Calls = append(e.Calls, se.Calls...)
+		e.ReadsInput = e.ReadsInput || se.ReadsInput
+	}
+	switch t := b.Term.(type) {
+	case *CondJump:
+		var ce Effects
+		ExprEffects(t.Cond, &ce)
+		for _, u := range ce.Uses {
+			e.addUse(u)
+		}
+		e.Calls = append(e.Calls, ce.Calls...)
+	case *Ret:
+		if t.Value != nil {
+			var re Effects
+			ExprEffects(t.Value, &re)
+			for _, u := range re.Uses {
+				e.addUse(u)
+			}
+			e.Calls = append(e.Calls, re.Calls...)
+		}
+	}
+	return e
+}
+
+// Vars returns the sorted set of all locations mentioned anywhere in
+// the graph (parameters included as scalar locations).
+func (g *Graph) Vars() []Loc {
+	set := map[Loc]bool{}
+	for _, p := range g.Fn.Params {
+		set[Loc{Var: p}] = true
+	}
+	for _, b := range g.Blocks {
+		e := BlockEffects(b)
+		for _, l := range e.Defs {
+			set[l] = true
+		}
+		for _, l := range e.Uses {
+			set[l] = true
+		}
+	}
+	out := make([]Loc, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		return !out[i].Array && out[j].Array
+	})
+	return out
+}

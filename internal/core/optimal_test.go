@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimalBeatsGreedyExample(t *testing.T) {
+	// The canonical greedy failure: 1,3,5,6,7,8.
+	ts := []Timestamp{1, 3, 5, 6, 7, 8}
+	greedy := CompactSeries(ts)
+	opt := CompactSeriesOptimal(ts)
+	if greedy.Words() != 5 {
+		t.Errorf("greedy words = %d, expected 5 for this example", greedy.Words())
+	}
+	if opt.Words() != 4 {
+		t.Errorf("optimal words = %d, want 4 (%s)", opt.Words(), opt)
+	}
+	if !reflect.DeepEqual(opt.Expand(), ts) {
+		t.Errorf("optimal expansion mismatch: %v", opt.Expand())
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(120)
+		ts := make([]Timestamp, n)
+		cur := Timestamp(0)
+		for i := range ts {
+			cur += Timestamp(1 + rng.Intn(6))
+			ts[i] = cur
+		}
+		greedy := CompactSeries(ts)
+		opt := CompactSeriesOptimal(ts)
+		if opt.Words() > greedy.Words() {
+			t.Fatalf("optimal %d > greedy %d for %v", opt.Words(), greedy.Words(), ts)
+		}
+		if !reflect.DeepEqual(opt.Expand(), ts) {
+			t.Fatalf("optimal expansion mismatch for %v: %v", ts, opt.Expand())
+		}
+	}
+}
+
+func TestOptimalAgainstBruteForce(t *testing.T) {
+	// Exhaustive minimal cost over all partitions, for short inputs.
+	var brute func(ts []Timestamp) int
+	brute = func(ts []Timestamp) int {
+		if len(ts) == 0 {
+			return 0
+		}
+		best := 1 + brute(ts[1:]) // singleton
+		for l := 2; l <= len(ts); l++ {
+			step := ts[1] - ts[0]
+			uniform := true
+			for i := 1; i < l; i++ {
+				if ts[i]-ts[i-1] != step {
+					uniform = false
+					break
+				}
+			}
+			if !uniform {
+				break
+			}
+			var cost int
+			switch {
+			case step == 1:
+				cost = 2
+			case l >= 3:
+				cost = 3
+			default:
+				continue
+			}
+			if c := cost + brute(ts[l:]); c < best {
+				best = c
+			}
+		}
+		return best
+	}
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(10)
+		ts := make([]Timestamp, n)
+		cur := Timestamp(0)
+		for i := range ts {
+			cur += Timestamp(1 + rng.Intn(4))
+			ts[i] = cur
+		}
+		want := brute(ts)
+		if got := OptimalWords(ts); got != want {
+			t.Fatalf("OptimalWords(%v) = %d, brute force = %d", ts, got, want)
+		}
+	}
+}
+
+func TestOptimalQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ts := make([]Timestamp, 0, len(raw))
+		cur := Timestamp(0)
+		for _, d := range raw {
+			cur += Timestamp(d%7) + 1
+			ts = append(ts, cur)
+		}
+		opt := CompactSeriesOptimal(ts)
+		if len(ts) == 0 {
+			return opt.Count() == 0
+		}
+		return reflect.DeepEqual(opt.Expand(), ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalEmpty(t *testing.T) {
+	if CompactSeriesOptimal(nil) != nil {
+		t.Error("optimal of empty input not nil")
+	}
+	if OptimalWords(nil) != 0 {
+		t.Error("OptimalWords(nil) != 0")
+	}
+}
+
+func BenchmarkGreedyVsOptimal(b *testing.B) {
+	rng := rand.New(rand.NewSource(122))
+	ts := make([]Timestamp, 10000)
+	cur := Timestamp(0)
+	for i := range ts {
+		cur += Timestamp(1 + rng.Intn(4))
+		ts[i] = cur
+	}
+	b.Run("greedy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			CompactSeries(ts)
+		}
+		b.ReportMetric(float64(CompactSeries(ts).Words()), "words")
+	})
+	b.Run("optimal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			CompactSeriesOptimal(ts)
+		}
+		b.ReportMetric(float64(CompactSeriesOptimal(ts).Words()), "words")
+	})
+}

@@ -1,0 +1,155 @@
+// Package currency implements dynamic currency determination for
+// debugging optimized code (§4.3.2 of Zhang & Gupta, PLDI 2001,
+// Figure 12; after Dhamdhere & Sankaranarayanan, TOPLAS 1998).
+//
+// The user debugs in terms of the unoptimized program, but the
+// executing binary is an optimized version in which an assignment to a
+// variable has been moved (e.g. sunk by partial dead code
+// elimination). When the user asks for the variable's value at a
+// breakpoint, the value is *current* only if the definition that
+// actually reached the breakpoint in the optimized execution is the
+// same one that would have reached it in the unoptimized execution.
+// The timestamped dynamic CFG answers this exactly: the path history
+// it encodes decides, per breakpoint instance, which definitions
+// executed and in what order.
+package currency
+
+import (
+	"fmt"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/dataflow"
+)
+
+// Motion describes one code-motion transformation applied by the
+// optimizer: the assignment to Var originally in block From now
+// executes in block To of the optimized program. Other definitions of
+// Var (blocks in OtherDefs) are unchanged by the optimization.
+type Motion struct {
+	Var       string
+	From, To  cfg.BlockID
+	OtherDefs []cfg.BlockID
+}
+
+// Verdict is the currency determination for one breakpoint instance.
+type Verdict struct {
+	// Current is true when the optimized value equals the value the
+	// unoptimized program would hold.
+	Current bool
+	// Reason explains the determination.
+	Reason string
+	// UnoptDefTime is when the reaching definition of the unoptimized
+	// program executed (0 = never).
+	UnoptDefTime core.Timestamp
+	// OptDefTime is when the optimized program's reaching definition
+	// executed (0 = never).
+	OptDefTime core.Timestamp
+}
+
+// At determines whether Var is current at the breakpoint instance
+// (block, t) of the optimized execution recorded in tg.
+//
+// The executed trace is the optimized one; block From still exists in
+// the optimized program (minus the moved assignment), so its
+// executions mark where the unoptimized program *would have* defined
+// Var.
+func At(tg *dataflow.TGraph, m Motion, breakpoint cfg.BlockID, t core.Timestamp) (*Verdict, error) {
+	node := tg.Node(breakpoint)
+	if node == nil {
+		return nil, fmt.Errorf("currency: breakpoint block %d never executed", breakpoint)
+	}
+	if !node.Times.Contains(t) {
+		return nil, fmt.Errorf("currency: breakpoint %d did not execute at time %d", breakpoint, t)
+	}
+
+	other := make(map[cfg.BlockID]bool, len(m.OtherDefs))
+	for _, d := range m.OtherDefs {
+		other[d] = true
+	}
+
+	lastBefore := func(b cfg.BlockID) core.Timestamp {
+		n := tg.Node(b)
+		if n == nil {
+			return 0
+		}
+		var best core.Timestamp
+		for _, e := range n.Times {
+			for ts := e.Lo; ts <= e.Hi; ts += e.Step {
+				if ts < t && ts > best {
+					best = ts
+				}
+			}
+		}
+		return best
+	}
+
+	// Most recent unoptimized definition point: the moved assignment's
+	// original home or an untouched definition.
+	tUnopt, bUnopt := lastBefore(m.From), m.From
+	// Most recent optimized definition point: the sunk location or an
+	// untouched definition.
+	tOpt, bOpt := lastBefore(m.To), m.To
+	for d := range other {
+		if ts := lastBefore(d); ts > tUnopt {
+			tUnopt, bUnopt = ts, d
+		}
+		if ts := lastBefore(d); ts > tOpt {
+			tOpt, bOpt = ts, d
+		}
+	}
+	if tUnopt == 0 && tOpt == 0 {
+		return &Verdict{Current: true, Reason: fmt.Sprintf("%s never assigned before the breakpoint in either version", m.Var)}, nil
+	}
+
+	v := &Verdict{UnoptDefTime: tUnopt, OptDefTime: tOpt}
+	switch {
+	case tUnopt == 0:
+		v.Current = false
+		v.Reason = fmt.Sprintf("optimized code assigned %s at B%d (t=%d) but the unoptimized program would not have", m.Var, bOpt, tOpt)
+	case tUnopt > 0 && other[bUnopt]:
+		// An untouched definition is the unoptimized reaching def.
+		if tOpt == tUnopt {
+			v.Current = true
+			v.Reason = fmt.Sprintf("both versions take their value of %s from B%d (t=%d)", m.Var, bUnopt, tUnopt)
+		} else {
+			v.Current = false
+			v.Reason = fmt.Sprintf("optimized code overwrote %s at B%d (t=%d) after the shared definition at t=%d", m.Var, bOpt, tOpt, tUnopt)
+		}
+	default:
+		// The moved assignment (at From, t=tUnopt) is the unoptimized
+		// reaching def. It is current only if the optimized program
+		// executed the sunk copy afterwards.
+		if tOpt > tUnopt && bOpt == m.To {
+			v.Current = true
+			v.Reason = fmt.Sprintf("%s is current: the assignment moved from B%d executed at B%d (t=%d)", m.Var, m.From, m.To, tOpt)
+		} else {
+			v.Current = false
+			v.Reason = fmt.Sprintf("%s is non-current: the unoptimized program would have assigned it at B%d (t=%d) but the moved assignment at B%d has not executed since", m.Var, m.From, tUnopt, m.To)
+		}
+	}
+	return v, nil
+}
+
+// AtAll classifies every execution instance of the breakpoint block,
+// returning the timestamp sets where the variable is current and
+// non-current.
+func AtAll(tg *dataflow.TGraph, m Motion, breakpoint cfg.BlockID) (current, nonCurrent core.Seq, err error) {
+	node := tg.Node(breakpoint)
+	if node == nil {
+		return nil, nil, fmt.Errorf("currency: breakpoint block %d never executed", breakpoint)
+	}
+	var cur, non []core.Timestamp
+	for _, ts := range node.Times.Expand() {
+		v, err := At(tg, m, breakpoint, ts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if v.Current {
+			cur = append(cur, ts)
+		} else {
+			non = append(non, ts)
+		}
+	}
+	return core.CompactSeries(cur), core.CompactSeries(non), nil
+}

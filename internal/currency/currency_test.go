@@ -1,0 +1,122 @@
+package currency
+
+import (
+	"testing"
+
+	"twpp/internal/cfg"
+	"twpp/internal/dataflow"
+	"twpp/internal/wpp"
+)
+
+// The paper's Figure 12: the unoptimized program assigns X in block 1;
+// partial dead code elimination sinks the assignment into block 2 (the
+// branch where X is used). The breakpoint is in block 3, reached
+// either via 1.2.3 (X current) or via 1.4.3 (X non-current: the
+// unoptimized program would have assigned X at 1, but the optimized
+// program never executed the sunk copy).
+var fig12Motion = Motion{Var: "X", From: 1, To: 2}
+
+func TestFigure12CurrentPath(t *testing.T) {
+	tg := dataflow.BuildFromPath(wpp.PathTrace{1, 2, 3})
+	v, err := At(tg, fig12Motion, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Current {
+		t.Errorf("path 1.2.3: X should be current: %s", v.Reason)
+	}
+	if v.OptDefTime != 2 || v.UnoptDefTime != 1 {
+		t.Errorf("def times = %d/%d", v.UnoptDefTime, v.OptDefTime)
+	}
+}
+
+func TestFigure12NonCurrentPath(t *testing.T) {
+	tg := dataflow.BuildFromPath(wpp.PathTrace{1, 4, 3})
+	v, err := At(tg, fig12Motion, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Current {
+		t.Errorf("path 1.4.3: X should be non-current: %s", v.Reason)
+	}
+}
+
+func TestLoopedBreakpointMixedCurrency(t *testing.T) {
+	// Two loop iterations: first takes 1.2.3 (current), second takes
+	// 1.4.3 (non-current).
+	tg := dataflow.BuildFromPath(wpp.PathTrace{1, 2, 3, 1, 4, 3})
+	cur, non, err := AtAll(tg, fig12Motion, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Count() != 1 || !cur.Contains(3) {
+		t.Errorf("current = %s, want [3]", cur)
+	}
+	// Second breakpoint: the last From (t=4) is newer than the last To
+	// (t=2) -> non-current.
+	if non.Count() != 1 || !non.Contains(6) {
+		t.Errorf("non-current = %s, want [6]", non)
+	}
+}
+
+func TestUntouchedDefinition(t *testing.T) {
+	// Block 5 is an untouched assignment to X in both versions. If it
+	// is the most recent definition in both, X is current.
+	m := Motion{Var: "X", From: 1, To: 2, OtherDefs: []cfg.BlockID{5}}
+	tg := dataflow.BuildFromPath(wpp.PathTrace{1, 2, 5, 3})
+	v, err := At(tg, m, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Current {
+		t.Errorf("untouched def should be current: %s", v.Reason)
+	}
+	// But if the sunk copy runs after the untouched def while the
+	// unoptimized def point has not, the value diverges.
+	tg2 := dataflow.BuildFromPath(wpp.PathTrace{5, 2, 3})
+	v2, err := At(tg2, m, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Current {
+		t.Errorf("optimized-only overwrite should be non-current: %s", v2.Reason)
+	}
+}
+
+func TestNeverAssigned(t *testing.T) {
+	m := Motion{Var: "X", From: 8, To: 9}
+	tg := dataflow.BuildFromPath(wpp.PathTrace{1, 2, 3})
+	v, err := At(tg, m, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Current {
+		t.Errorf("never-assigned variable should be vacuously current: %s", v.Reason)
+	}
+}
+
+func TestOptimizedAssignedButUnoptNot(t *testing.T) {
+	// Hoisting-like situation: To executed but From never would have.
+	m := Motion{Var: "X", From: 8, To: 2}
+	tg := dataflow.BuildFromPath(wpp.PathTrace{1, 2, 3})
+	v, err := At(tg, m, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Current {
+		t.Errorf("want non-current: %s", v.Reason)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tg := dataflow.BuildFromPath(wpp.PathTrace{1, 2, 3})
+	if _, err := At(tg, fig12Motion, 99, 1); err == nil {
+		t.Error("unknown breakpoint: want error")
+	}
+	if _, err := At(tg, fig12Motion, 3, 1); err == nil {
+		t.Error("wrong instance time: want error")
+	}
+	if _, _, err := AtAll(tg, fig12Motion, 99); err == nil {
+		t.Error("unknown breakpoint: want error")
+	}
+}

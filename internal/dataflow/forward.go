@@ -1,0 +1,113 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+)
+
+// Forward query propagation. §4.1 of the paper highlights that the
+// timestamp-annotated dynamic CFG supports "efficient backward and
+// forward traversal of the path trace starting from any arbitrary
+// point": the successor of point (t, n) is (t+1, s) where s is the
+// dynamic successor labeled t+1. SolveForward uses this to answer the
+// forward dual of the GEN-KILL query: starting from the executions of
+// a block at T, how far does a fact established there reach before a
+// kill, and does it reach a given observation block?
+
+// ForwardResult reports where a fact established at the query point
+// was still in force when the observation block executed.
+type ForwardResult struct {
+	// Reached holds the observation block's timestamps at which the
+	// fact (established at the source) was still live.
+	Reached core.Seq
+	// Killed holds the source timestamps whose fact was killed before
+	// reaching the observation block (or trace end).
+	Killed core.Seq
+	// ExpiredAtEnd holds source timestamps whose fact survived to the
+	// end of the trace without reaching the observation block.
+	ExpiredAtEnd core.Seq
+	// Queries counts propagation steps (same metric as the backward
+	// solver).
+	Queries int
+	// Steps counts forward time steps taken.
+	Steps int
+}
+
+// SolveForward propagates the fact established immediately *after*
+// the executions of src at timestamps T forward through the dynamic
+// CFG. Propagation for a slot stops when it reaches an execution of
+// obs (recorded in Reached, keyed by the observation timestamp), when
+// a Kill block executes (Killed, keyed by the originating source
+// timestamp), or at the end of the trace (ExpiredAtEnd).
+//
+// Blocks that Gen the fact are transparent to forward propagation (the
+// fact is simply re-established); only Kill stops a slot.
+func SolveForward(g *TGraph, prob Problem, src, obs cfg.BlockID, T core.Seq) (*ForwardResult, error) {
+	srcNode := g.Node(src)
+	if srcNode == nil {
+		return nil, fmt.Errorf("dataflow: source block %d not in dynamic CFG", src)
+	}
+	obsNode := g.Node(obs)
+	if obsNode == nil {
+		return nil, fmt.Errorf("dataflow: observation block %d not in dynamic CFG", obs)
+	}
+	if T == nil {
+		T = srcNode.Times
+	}
+	if !T.Subtract(srcNode.Times).IsEmpty() {
+		return nil, fmt.Errorf("dataflow: query timestamps %s exceed block %d's %s", T, src, srcNode.Times)
+	}
+
+	res := &ForwardResult{Queries: 1}
+	end := core.Timestamp(g.Len)
+	// active maps block -> current positions of live slots. After k
+	// steps a slot's origin is current - k.
+	active := map[cfg.BlockID]core.Seq{src: T}
+	offset := core.Timestamp(0)
+
+	for len(active) > 0 {
+		offset++
+		res.Steps++
+		next := make(map[cfg.BlockID]core.Seq)
+		for b, seq := range active {
+			inc := seq.Shift(1)
+			// Slots stepping past the trace end survive unkilled.
+			if inc.Contains(end + 1) {
+				res.ExpiredAtEnd = res.ExpiredAtEnd.Union(
+					core.Seq{{Lo: end + 1 - offset, Hi: end + 1 - offset, Step: 1}})
+				inc = inc.Subtract(core.Seq{{Lo: end + 1, Hi: end + 1, Step: 1}})
+			}
+			if inc.IsEmpty() {
+				continue
+			}
+			routed := core.Seq{}
+			for _, s := range g.Node(b).Succs {
+				inter := inc.Intersect(s.Times)
+				if inter.IsEmpty() {
+					continue
+				}
+				res.Queries++
+				routed = routed.Union(inter)
+				if s.Block == obs {
+					// The fact reaches the observation point; record
+					// the observation timestamps.
+					res.Reached = res.Reached.Union(inter)
+					continue
+				}
+				if prob.Effect(s.Block) == Kill {
+					res.Killed = res.Killed.Union(inter.Shift(-offset))
+					continue
+				}
+				next[s.Block] = next[s.Block].Union(inter)
+			}
+			if leftover := inc.Subtract(routed); !leftover.IsEmpty() {
+				return nil, fmt.Errorf("dataflow: timestamps %s at block %d have no successor (corrupt trace?)",
+					leftover, b)
+			}
+		}
+		active = next
+	}
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/wpp"
+)
+
+func TestForwardFigure9Dual(t *testing.T) {
+	// Forward dual of Figure 9: values loaded at block 1 reach the
+	// re-load at block 4 on the 60 iterations that execute 4, are
+	// killed by block 6 on 40 iterations... block 6 executes in the
+	// same iteration as its block 1 (path C), so those 40 facts die;
+	// the other 60 reach block 4.
+	g := BuildFromPath(figure9Path())
+	prob := figure9Problem()
+	res, err := SolveForward(g, prob, 1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached.Count() != 60 {
+		t.Errorf("reached = %d, want 60 (%s)", res.Reached.Count(), res.Reached)
+	}
+	if res.Killed.Count() != 40 {
+		t.Errorf("killed = %d, want 40 (%s)", res.Killed.Count(), res.Killed)
+	}
+	// Observation timestamps are block 4's executions.
+	if !res.Reached.Subtract(g.Node(4).Times).IsEmpty() {
+		t.Errorf("reached timestamps %s not a subset of T(4)", res.Reached)
+	}
+	// Killed origins are block 1's executions on path C (iterations
+	// 61-100 start at 301, 306, ...).
+	if got := res.Killed.String(); got != "[301:496:5]" {
+		t.Errorf("killed origins = %s, want [301:496:5]", got)
+	}
+}
+
+func TestForwardExpiresAtEnd(t *testing.T) {
+	// 1 2 3: fact from 3's execution runs off the end; fact from 1
+	// reaches obs=2.
+	g := BuildFromPath(wpp.PathTrace{1, 2, 3})
+	prob := &GenKillProblem{}
+	res, err := SolveForward(g, prob, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpiredAtEnd.Count() != 1 || res.Reached.Count() != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	res, err = SolveForward(g, prob, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached.Count() != 1 || !res.Reached.Contains(2) {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestForwardGenIsTransparent(t *testing.T) {
+	// A Gen block between source and observation does not stop
+	// propagation.
+	g := BuildFromPath(wpp.PathTrace{1, 2, 3})
+	prob := &GenKillProblem{GenBlocks: map[cfg.BlockID]bool{2: true}}
+	res, err := SolveForward(g, prob, 1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached.Count() != 1 {
+		t.Errorf("gen blocked propagation: %+v", res)
+	}
+}
+
+// naiveForward replays the path per source instance. Reached is the
+// set of distinct observation timestamps hit (several sources can
+// stop at the same observation instance); killed and expired are
+// counted per source, matching SolveForward's keying.
+func naiveForward(path wpp.PathTrace, prob Problem, src, obs cfg.BlockID) (reached map[core.Timestamp]bool, killed, expired int) {
+	reached = map[core.Timestamp]bool{}
+	for t := 1; t <= len(path); t++ {
+		if path[t-1] != src {
+			continue
+		}
+		done := false
+		for u := t + 1; u <= len(path); u++ {
+			b := path[u-1]
+			if b == obs {
+				reached[core.Timestamp(u)] = true
+				done = true
+				break
+			}
+			if prob.Effect(b) == Kill {
+				killed++
+				done = true
+				break
+			}
+		}
+		if !done {
+			expired++
+		}
+	}
+	return
+}
+
+func TestForwardAgainstNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(200)
+		alpha := 2 + rng.Intn(8)
+		path := make(wpp.PathTrace, n)
+		for i := range path {
+			path[i] = cfg.BlockID(1 + rng.Intn(alpha))
+		}
+		prob := &GenKillProblem{GenBlocks: map[cfg.BlockID]bool{}, KillBlocks: map[cfg.BlockID]bool{}}
+		for b := 1; b <= alpha; b++ {
+			switch rng.Intn(4) {
+			case 0:
+				prob.GenBlocks[cfg.BlockID(b)] = true
+			case 1:
+				prob.KillBlocks[cfg.BlockID(b)] = true
+			}
+		}
+		g := BuildFromPath(path)
+		src := path[rng.Intn(len(path))]
+		obs := path[rng.Intn(len(path))]
+		if src == obs {
+			continue
+		}
+		res, err := SolveForward(g, prob, src, obs, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wr, wk, we := naiveForward(path, prob, src, obs)
+		if res.Reached.Count() != len(wr) || res.Killed.Count() != wk || res.ExpiredAtEnd.Count() != we {
+			t.Fatalf("trial %d: got %d/%d/%d, want %d/%d/%d\npath %v src %d obs %d",
+				trial, res.Reached.Count(), res.Killed.Count(), res.ExpiredAtEnd.Count(),
+				len(wr), wk, we, path, src, obs)
+		}
+		for _, ts := range res.Reached.Expand() {
+			if !wr[ts] {
+				t.Fatalf("trial %d: reached %d not in oracle set", trial, ts)
+			}
+		}
+	}
+}
+
+func TestForwardErrors(t *testing.T) {
+	g := BuildFromPath(wpp.PathTrace{1, 2, 3})
+	prob := &GenKillProblem{}
+	if _, err := SolveForward(g, prob, 99, 1, nil); err == nil {
+		t.Error("unknown source: want error")
+	}
+	if _, err := SolveForward(g, prob, 1, 99, nil); err == nil {
+		t.Error("unknown observation: want error")
+	}
+	bad := core.Seq{{Lo: 3, Hi: 3, Step: 1}}
+	if _, err := SolveForward(g, prob, 1, 2, bad); err == nil {
+		t.Error("non-subset timestamps: want error")
+	}
+}
+
+func TestForwardSubsetQuery(t *testing.T) {
+	g := BuildFromPath(figure9Path())
+	prob := figure9Problem()
+	// Only path-C instances of block 1 (iterations 61-100): all killed
+	// by 6 in the same iteration.
+	sub := core.Seq{{Lo: 301, Hi: 496, Step: 5}}
+	res, err := SolveForward(g, prob, 1, 4, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Killed.Count() != 40 || res.Reached.Count() != 0 {
+		t.Errorf("subset forward: %+v", res)
+	}
+}

@@ -1,0 +1,197 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+)
+
+// Effect is a block's composite effect on a data flow fact. For a
+// block containing several statements (or a DBB chain), the implementer
+// composes them in order: the last statement that generates or kills
+// the fact decides.
+type Effect int
+
+// Effect values.
+const (
+	// Transparent blocks neither generate nor kill the fact.
+	Transparent Effect = iota
+	// Gen blocks make the fact true on exit.
+	Gen
+	// Kill blocks make the fact false on exit.
+	Kill
+)
+
+// String renders the effect name.
+func (e Effect) String() string {
+	switch e {
+	case Gen:
+		return "GEN"
+	case Kill:
+		return "KILL"
+	default:
+		return "transparent"
+	}
+}
+
+// Problem supplies per-block effects for one GEN-KILL fact. Implement
+// it per query fact (e.g. "the value loaded by 4_Load is available").
+type Problem interface {
+	Effect(b cfg.BlockID) Effect
+}
+
+// ProblemFunc adapts a function to the Problem interface.
+type ProblemFunc func(b cfg.BlockID) Effect
+
+// Effect implements Problem.
+func (f ProblemFunc) Effect(b cfg.BlockID) Effect { return f(b) }
+
+// Result reports the resolution of a query <T, n>_d, partitioned over
+// the original timestamps of T.
+type Result struct {
+	// True holds the timestamps of n's executions before which the
+	// fact holds (resolved at a GEN block).
+	True core.Seq
+	// False holds timestamps resolved at a KILL block.
+	False core.Seq
+	// Unresolved holds timestamps whose backward paths reached the
+	// start of the trace without resolution (the answer depends on the
+	// calling context).
+	Unresolved core.Seq
+	// Queries counts the queries generated during propagation (the
+	// initial query plus one per non-empty propagation to a
+	// predecessor), the cost metric of the paper's Figure 9.
+	Queries int
+	// Steps counts worklist iterations (backward time steps).
+	Steps int
+}
+
+// Frequency returns how often the fact held: |True| / |T|.
+func (r *Result) Frequency() float64 {
+	total := r.True.Count() + r.False.Count() + r.Unresolved.Count()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.True.Count()) / float64(total)
+}
+
+// Solve answers the profile-limited data flow query <T, n>_d by
+// demand-driven backward propagation over the timestamp-annotated
+// dynamic CFG.
+//
+// T must be a subset of n's timestamp set; pass g.Node(n).Times for
+// "all executions of n". The fact d is defined by prob.
+func Solve(g *TGraph, prob Problem, n cfg.BlockID, T core.Seq) (*Result, error) {
+	start := g.Node(n)
+	if start == nil {
+		return nil, fmt.Errorf("dataflow: block %d not in dynamic CFG", n)
+	}
+	if !T.Subtract(start.Times).IsEmpty() {
+		return nil, fmt.Errorf("dataflow: query timestamps %s not a subset of block %d's %s",
+			T, n, start.Times)
+	}
+
+	res := &Result{Queries: 1}
+	// active maps a block to the *current* (decremented) positions of
+	// unresolved slots sitting at that block. After k steps a slot's
+	// original timestamp is its current position plus k.
+	active := map[cfg.BlockID]core.Seq{n: T}
+	offset := core.Timestamp(0)
+
+	addResolved := func(dst *core.Seq, cur core.Seq, offset core.Timestamp) {
+		*dst = dst.Union(cur.Shift(offset))
+	}
+
+	for len(active) > 0 {
+		offset++
+		res.Steps++
+		next := make(map[cfg.BlockID]core.Seq)
+		for b, seq := range active {
+			dec := seq.Shift(-1)
+			// Slots stepping before the start of the trace leave the
+			// function unresolved.
+			if dec.Contains(0) {
+				addResolved(&res.Unresolved, core.Seq{{Lo: 0, Hi: 0, Step: 1}}, offset)
+				dec = dec.Subtract(core.Seq{{Lo: 0, Hi: 0, Step: 1}})
+			}
+			if dec.IsEmpty() {
+				continue
+			}
+			routed := core.Seq{}
+			for _, m := range g.Node(b).Preds {
+				inter := dec.Intersect(m.Times)
+				if inter.IsEmpty() {
+					continue
+				}
+				res.Queries++
+				routed = routed.Union(inter)
+				switch prob.Effect(m.Block) {
+				case Gen:
+					addResolved(&res.True, inter, offset)
+				case Kill:
+					addResolved(&res.False, inter, offset)
+				default:
+					if cur, ok := next[m.Block]; ok {
+						next[m.Block] = cur.Union(inter)
+					} else {
+						next[m.Block] = inter
+					}
+				}
+			}
+			if leftover := dec.Subtract(routed); !leftover.IsEmpty() {
+				return nil, fmt.Errorf("dataflow: timestamps %s at block %d have no predecessor holding them (corrupt trace?)",
+					leftover.Shift(offset), b)
+			}
+		}
+		active = next
+	}
+	return res, nil
+}
+
+// SolveAll answers <T(n), n>_d for all executions of n.
+func SolveAll(g *TGraph, prob Problem, n cfg.BlockID) (*Result, error) {
+	start := g.Node(n)
+	if start == nil {
+		return nil, fmt.Errorf("dataflow: block %d not in dynamic CFG", n)
+	}
+	return Solve(g, prob, n, start.Times)
+}
+
+// Holds summarizes a result in the paper's three-way classification:
+// whether d always holds, never holds, or sometimes holds over the
+// queried executions.
+func (r *Result) Holds() string {
+	t, f, u := r.True.Count(), r.False.Count(), r.Unresolved.Count()
+	switch {
+	case t > 0 && f == 0 && u == 0:
+		return "always"
+	case t == 0 && (f > 0 || u > 0):
+		return "never"
+	case t == 0 && f == 0 && u == 0:
+		return "vacuous"
+	default:
+		return "sometimes"
+	}
+}
+
+// GenKillProblem is a convenience Problem built from explicit block
+// sets.
+type GenKillProblem struct {
+	GenBlocks  map[cfg.BlockID]bool
+	KillBlocks map[cfg.BlockID]bool
+}
+
+// Effect implements Problem. A block in both sets kills (the
+// conservative choice — use a custom Problem to express statement
+// order within a block).
+func (p *GenKillProblem) Effect(b cfg.BlockID) Effect {
+	switch {
+	case p.KillBlocks[b]:
+		return Kill
+	case p.GenBlocks[b]:
+		return Gen
+	default:
+		return Transparent
+	}
+}

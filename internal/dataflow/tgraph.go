@@ -1,0 +1,124 @@
+// Package dataflow implements profile-limited data flow analysis over
+// timestamped whole program paths (Zhang & Gupta, PLDI 2001, §4): the
+// timestamp-annotated dynamic control flow graph (§4.1) and the
+// demand-driven backward propagation of GEN-KILL queries with compacted
+// timestamp vectors (§4.2).
+//
+// A query <T, n>_d asks whether the data flow fact d holds immediately
+// before the executions of block n at the timestamps in T. The engine
+// propagates the timestamp vector backward through the dynamic CFG,
+// decrementing all slots in lockstep (the O(entries) series shift of
+// the paper) and routing slots to the predecessor whose timestamp set
+// contains them; a slot resolves when it reaches a block that generates
+// (true) or kills (false) the fact.
+package dataflow
+
+import (
+	"fmt"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/wpp"
+)
+
+// Node is one dynamic basic block of a path trace, annotated with the
+// compacted set of timestamps at which it executed.
+type Node struct {
+	Block cfg.BlockID
+	Times core.Seq
+	Preds []*Node
+	Succs []*Node
+}
+
+// TGraph is the timestamp-annotated dynamic control flow graph of one
+// path trace, at static block granularity (DBB dictionaries expanded).
+type TGraph struct {
+	// Nodes in order of first execution.
+	Nodes []*Node
+	// Len is the trace length (largest timestamp).
+	Len int
+
+	byBlock map[cfg.BlockID]*Node
+}
+
+// Node returns the node for the given static block, or nil if the
+// block never executed in this trace.
+func (g *TGraph) Node(b cfg.BlockID) *Node { return g.byBlock[b] }
+
+// BuildFromPath constructs the timestamp-annotated dynamic CFG from an
+// expanded path trace.
+func BuildFromPath(path wpp.PathTrace) *TGraph {
+	g := &TGraph{Len: len(path), byBlock: make(map[cfg.BlockID]*Node)}
+	times := make(map[cfg.BlockID][]core.Timestamp)
+	get := func(b cfg.BlockID) *Node {
+		n, ok := g.byBlock[b]
+		if !ok {
+			n = &Node{Block: b}
+			g.byBlock[b] = n
+			g.Nodes = append(g.Nodes, n)
+		}
+		return n
+	}
+	edge := make(map[[2]cfg.BlockID]bool)
+	for i, b := range path {
+		n := get(b)
+		times[b] = append(times[b], core.Timestamp(i+1))
+		if i > 0 {
+			p := path[i-1]
+			if !edge[[2]cfg.BlockID{p, b}] {
+				edge[[2]cfg.BlockID{p, b}] = true
+				pn := g.byBlock[p]
+				pn.Succs = append(pn.Succs, n)
+				n.Preds = append(n.Preds, pn)
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		n.Times = core.CompactSeries(times[n.Block])
+	}
+	return g
+}
+
+// Build expands unique trace traceIdx of ft through its dictionary and
+// constructs the annotated dynamic CFG.
+func Build(ft *core.FunctionTWPP, traceIdx int) (*TGraph, error) {
+	if traceIdx < 0 || traceIdx >= len(ft.Traces) {
+		return nil, fmt.Errorf("dataflow: trace index %d out of range (%d traces)", traceIdx, len(ft.Traces))
+	}
+	compacted, err := ft.Traces[traceIdx].ToPath()
+	if err != nil {
+		return nil, err
+	}
+	dict := ft.Dicts[ft.DictOf[traceIdx]]
+	var path wpp.PathTrace
+	for _, id := range compacted {
+		if chain, ok := dict[id]; ok {
+			path = append(path, chain...)
+		} else {
+			path = append(path, id)
+		}
+	}
+	return BuildFromPath(path), nil
+}
+
+// BlockAt returns the block executing at timestamp ts (0 if out of
+// range). It is O(nodes) over compacted vectors, not O(trace length).
+func (g *TGraph) BlockAt(ts core.Timestamp) cfg.BlockID {
+	for _, n := range g.Nodes {
+		if n.Times.Contains(ts) {
+			return n.Block
+		}
+	}
+	return 0
+}
+
+// Path re-materializes the underlying path trace.
+func (g *TGraph) Path() wpp.PathTrace {
+	out := make(wpp.PathTrace, g.Len)
+	for _, n := range g.Nodes {
+		for _, t := range n.Times.Expand() {
+			out[t-1] = n.Block
+		}
+	}
+	return out
+}

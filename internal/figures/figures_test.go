@@ -1,0 +1,75 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFigure9Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure9(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"T(1) = [1:496:5]",
+		"T(2) = [2:297:5]",
+		"T(3) = [3:198:5]",
+		"T(7) = [203:498:5]",
+		"T(4) = [4:299:5]",
+		"60/60 executions redundant (100%), always",
+		"queries generated: 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 9 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure10And11Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure10And11(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"approach 1 slice: [1 2 3 4 5 6 7 8 9 11 12 13 14]",
+		"approach 2 slice: [1 2 4 5 6 7 8 9 11 12 13 14]",
+		"approach 3 slice: [1 2 4 5 6 7 9 11 12 13 14]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figures 10-11 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure12Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure12(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "path [1 2 3]: X is current") {
+		t.Errorf("missing current verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "path [1 4 3]: X is non-current") {
+		t.Errorf("missing non-current verdict:\n%s", out)
+	}
+}
+
+func TestPrintDispatch(t *testing.T) {
+	for _, f := range []int{9, 10, 11, 12} {
+		var buf bytes.Buffer
+		if err := Print(&buf, f); err != nil {
+			t.Errorf("Print(%d): %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("Print(%d): empty output", f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Print(&buf, 1); err == nil {
+		t.Error("Print(1): want error")
+	}
+}

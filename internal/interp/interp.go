@@ -1,0 +1,440 @@
+// Package interp executes minilang control flow graphs with whole
+// program path instrumentation. It plays the role Trimaran's
+// instrumented binaries played for Zhang & Gupta (PLDI 2001): every
+// basic block entry and every call/return is reported to a Tracer,
+// producing the raw WPP that the compaction pipeline consumes.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"twpp/internal/cfg"
+	"twpp/internal/minilang"
+)
+
+// Tracer receives control flow events during execution. trace.Builder
+// is the standard implementation; NopTracer discards events.
+type Tracer interface {
+	EnterCall(f cfg.FuncID)
+	Block(b cfg.BlockID)
+	ExitCall()
+}
+
+// NopTracer discards all events (for untraced reference runs).
+type NopTracer struct{}
+
+// EnterCall implements Tracer.
+func (NopTracer) EnterCall(cfg.FuncID) {}
+
+// Block implements Tracer.
+func (NopTracer) Block(cfg.BlockID) {}
+
+// ExitCall implements Tracer.
+func (NopTracer) ExitCall() {}
+
+// Limits bound an execution. Zero values select defaults.
+type Limits struct {
+	// MaxSteps bounds the number of block executions (default 50M).
+	MaxSteps int
+	// MaxDepth bounds the call stack (default 10000).
+	MaxDepth int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxSteps == 0 {
+		l.MaxSteps = 50_000_000
+	}
+	if l.MaxDepth == 0 {
+		l.MaxDepth = 10_000
+	}
+	return l
+}
+
+// Common execution errors.
+var (
+	ErrMaxSteps = errors.New("interp: step limit exceeded")
+	ErrMaxDepth = errors.New("interp: call depth limit exceeded")
+)
+
+// RuntimeError is a language-level execution failure (bad index, wrong
+// type, etc.) with the source position of the offending node.
+type RuntimeError struct {
+	Pos minilang.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("interp: runtime error at %s: %s", e.Pos, e.Msg)
+}
+
+// Value is an integer or an array reference.
+type Value struct {
+	Int int64
+	Arr []int64 // non-nil means array value
+}
+
+// IsArray reports whether v holds an array.
+func (v Value) IsArray() bool { return v.Arr != nil }
+
+// Result is the outcome of a completed execution.
+type Result struct {
+	// Output collects print() arguments in order.
+	Output []int64
+	// Steps is the number of blocks executed.
+	Steps int
+	// ReturnValue is main's return value (0 if none).
+	ReturnValue int64
+}
+
+// Interp executes one program.
+type Interp struct {
+	prog   *cfg.Program
+	tracer Tracer
+	limits Limits
+	input  []int64
+	inPos  int
+	out    []int64
+	steps  int
+	depth  int
+}
+
+// New prepares an interpreter for prog. input feeds `read`
+// statements (reads past the end yield 0).
+func New(prog *cfg.Program, tracer Tracer, input []int64, limits Limits) *Interp {
+	if tracer == nil {
+		tracer = NopTracer{}
+	}
+	return &Interp{prog: prog, tracer: tracer, input: input, limits: limits.withDefaults()}
+}
+
+// Run executes main to completion.
+func (in *Interp) Run() (*Result, error) {
+	ret, err := in.call(in.prog.MainID(), nil, minilang.Pos{Line: 1, Col: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: in.out, Steps: in.steps, ReturnValue: ret.Int}, nil
+}
+
+// Run is a convenience: build an interpreter and execute.
+func Run(prog *cfg.Program, tracer Tracer, input []int64, limits Limits) (*Result, error) {
+	return New(prog, tracer, input, limits).Run()
+}
+
+// frame is one activation record.
+type frame struct {
+	vars map[string]Value
+}
+
+func (in *Interp) call(f cfg.FuncID, args []Value, pos minilang.Pos) (Value, error) {
+	if in.depth >= in.limits.MaxDepth {
+		return Value{}, ErrMaxDepth
+	}
+	g := in.prog.Graph(f)
+	if g == nil {
+		return Value{}, &RuntimeError{pos, fmt.Sprintf("no such function id %d", f)}
+	}
+	if len(args) != len(g.Fn.Params) {
+		return Value{}, &RuntimeError{pos, fmt.Sprintf("%s expects %d args, got %d", g.Fn.Name, len(g.Fn.Params), len(args))}
+	}
+	fr := &frame{vars: make(map[string]Value, len(args)+4)}
+	for i, p := range g.Fn.Params {
+		fr.vars[p] = args[i]
+	}
+
+	in.depth++
+	in.tracer.EnterCall(f)
+	defer func() {
+		in.tracer.ExitCall()
+		in.depth--
+	}()
+
+	blk := g.Entry
+	for {
+		if in.steps >= in.limits.MaxSteps {
+			return Value{}, ErrMaxSteps
+		}
+		in.steps++
+		in.tracer.Block(blk.ID)
+
+		for _, s := range blk.Stmts {
+			if err := in.stmt(fr, s); err != nil {
+				return Value{}, err
+			}
+		}
+
+		switch t := blk.Term.(type) {
+		case nil:
+			// Exit block reached (only via Ret, which returns directly);
+			// reaching it by fallthrough means the block structure is
+			// corrupt.
+			return Value{}, &RuntimeError{g.Fn.Pos, "fell into exit block"}
+		case *cfg.Goto:
+			blk = t.Target
+		case *cfg.CondJump:
+			v, err := in.eval(fr, t.Cond)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.IsArray() {
+				return Value{}, &RuntimeError{t.Cond.Position(), "array used as condition"}
+			}
+			if v.Int != 0 {
+				blk = t.Then
+			} else {
+				blk = t.Else
+			}
+		case *cfg.Ret:
+			var ret Value
+			if t.Value != nil {
+				v, err := in.eval(fr, t.Value)
+				if err != nil {
+					return Value{}, err
+				}
+				ret = v
+			}
+			// The exit block executes (and is traced) as part of the
+			// return, matching the paper's traces which end on the exit
+			// block id.
+			if in.steps >= in.limits.MaxSteps {
+				return Value{}, ErrMaxSteps
+			}
+			in.steps++
+			in.tracer.Block(t.Exit.ID)
+			return ret, nil
+		}
+	}
+}
+
+func (in *Interp) stmt(fr *frame, s minilang.Stmt) error {
+	switch x := s.(type) {
+	case *minilang.VarStmt:
+		v, err := in.eval(fr, x.Value)
+		if err != nil {
+			return err
+		}
+		fr.vars[x.Name] = v
+		return nil
+	case *minilang.AssignStmt:
+		v, err := in.eval(fr, x.Value)
+		if err != nil {
+			return err
+		}
+		if x.Index == nil {
+			fr.vars[x.Name] = v
+			return nil
+		}
+		arr, ok := fr.vars[x.Name]
+		if !ok || !arr.IsArray() {
+			return &RuntimeError{x.Pos, fmt.Sprintf("%s is not an array", x.Name)}
+		}
+		idx, err := in.eval(fr, x.Index)
+		if err != nil {
+			return err
+		}
+		if idx.IsArray() {
+			return &RuntimeError{x.Index.Position(), "array used as index"}
+		}
+		if idx.Int < 0 || idx.Int >= int64(len(arr.Arr)) {
+			return &RuntimeError{x.Pos, fmt.Sprintf("index %d out of range [0,%d)", idx.Int, len(arr.Arr))}
+		}
+		if v.IsArray() {
+			return &RuntimeError{x.Pos, "cannot store array into array element"}
+		}
+		arr.Arr[idx.Int] = v.Int
+		return nil
+	case *minilang.PrintStmt:
+		for _, a := range x.Args {
+			v, err := in.eval(fr, a)
+			if err != nil {
+				return err
+			}
+			if v.IsArray() {
+				return &RuntimeError{a.Position(), "cannot print array"}
+			}
+			in.out = append(in.out, v.Int)
+		}
+		return nil
+	case *minilang.ReadStmt:
+		var v int64
+		if in.inPos < len(in.input) {
+			v = in.input[in.inPos]
+			in.inPos++
+		}
+		fr.vars[x.Name] = Value{Int: v}
+		return nil
+	case *minilang.ExprStmt:
+		_, err := in.eval(fr, x.X)
+		return err
+	default:
+		return &RuntimeError{s.Position(), fmt.Sprintf("statement %T in straight-line position", s)}
+	}
+}
+
+func (in *Interp) eval(fr *frame, e minilang.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *minilang.NumberLit:
+		return Value{Int: x.Value}, nil
+
+	case *minilang.Ident:
+		v, ok := fr.vars[x.Name]
+		if !ok {
+			return Value{}, &RuntimeError{x.Pos, fmt.Sprintf("undefined variable %q", x.Name)}
+		}
+		return v, nil
+
+	case *minilang.IndexExpr:
+		arr, ok := fr.vars[x.Name]
+		if !ok || !arr.IsArray() {
+			return Value{}, &RuntimeError{x.Pos, fmt.Sprintf("%s is not an array", x.Name)}
+		}
+		idx, err := in.eval(fr, x.Index)
+		if err != nil {
+			return Value{}, err
+		}
+		if idx.IsArray() {
+			return Value{}, &RuntimeError{x.Index.Position(), "array used as index"}
+		}
+		if idx.Int < 0 || idx.Int >= int64(len(arr.Arr)) {
+			return Value{}, &RuntimeError{x.Pos, fmt.Sprintf("index %d out of range [0,%d)", idx.Int, len(arr.Arr))}
+		}
+		return Value{Int: arr.Arr[idx.Int]}, nil
+
+	case *minilang.UnaryExpr:
+		v, err := in.eval(fr, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsArray() {
+			return Value{}, &RuntimeError{x.Pos, "unary operator on array"}
+		}
+		switch x.Op {
+		case minilang.Minus:
+			return Value{Int: -v.Int}, nil
+		case minilang.Not:
+			if v.Int == 0 {
+				return Value{Int: 1}, nil
+			}
+			return Value{Int: 0}, nil
+		}
+		return Value{}, &RuntimeError{x.Pos, fmt.Sprintf("unknown unary operator %v", x.Op)}
+
+	case *minilang.BinaryExpr:
+		// Short-circuit logical operators.
+		if x.Op == minilang.AndAnd || x.Op == minilang.OrOr {
+			l, err := in.eval(fr, x.X)
+			if err != nil {
+				return Value{}, err
+			}
+			if l.IsArray() {
+				return Value{}, &RuntimeError{x.Pos, "logical operator on array"}
+			}
+			if x.Op == minilang.AndAnd && l.Int == 0 {
+				return Value{Int: 0}, nil
+			}
+			if x.Op == minilang.OrOr && l.Int != 0 {
+				return Value{Int: 1}, nil
+			}
+			r, err := in.eval(fr, x.Y)
+			if err != nil {
+				return Value{}, err
+			}
+			if r.IsArray() {
+				return Value{}, &RuntimeError{x.Pos, "logical operator on array"}
+			}
+			if r.Int != 0 {
+				return Value{Int: 1}, nil
+			}
+			return Value{Int: 0}, nil
+		}
+		l, err := in.eval(fr, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := in.eval(fr, x.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.IsArray() || r.IsArray() {
+			return Value{}, &RuntimeError{x.Pos, "arithmetic on array"}
+		}
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch x.Op {
+		case minilang.Plus:
+			return Value{Int: l.Int + r.Int}, nil
+		case minilang.Minus:
+			return Value{Int: l.Int - r.Int}, nil
+		case minilang.Star:
+			return Value{Int: l.Int * r.Int}, nil
+		case minilang.Slash:
+			// Total semantics: division by zero yields zero, so randomly
+			// generated workloads cannot fault here.
+			if r.Int == 0 {
+				return Value{Int: 0}, nil
+			}
+			return Value{Int: l.Int / r.Int}, nil
+		case minilang.Percent:
+			if r.Int == 0 {
+				return Value{Int: 0}, nil
+			}
+			return Value{Int: l.Int % r.Int}, nil
+		case minilang.Lt:
+			return Value{Int: b2i(l.Int < r.Int)}, nil
+		case minilang.Le:
+			return Value{Int: b2i(l.Int <= r.Int)}, nil
+		case minilang.Gt:
+			return Value{Int: b2i(l.Int > r.Int)}, nil
+		case minilang.Ge:
+			return Value{Int: b2i(l.Int >= r.Int)}, nil
+		case minilang.EqEq:
+			return Value{Int: b2i(l.Int == r.Int)}, nil
+		case minilang.NotEq:
+			return Value{Int: b2i(l.Int != r.Int)}, nil
+		}
+		return Value{}, &RuntimeError{x.Pos, fmt.Sprintf("unknown operator %v", x.Op)}
+
+	case *minilang.CallExpr:
+		switch x.Name {
+		case minilang.BuiltinAlloc:
+			n, err := in.eval(fr, x.Args[0])
+			if err != nil {
+				return Value{}, err
+			}
+			if n.IsArray() || n.Int < 0 || n.Int > 1<<24 {
+				return Value{}, &RuntimeError{x.Pos, fmt.Sprintf("bad alloc size %v", n.Int)}
+			}
+			return Value{Arr: make([]int64, n.Int)}, nil
+		case minilang.BuiltinLen:
+			a, err := in.eval(fr, x.Args[0])
+			if err != nil {
+				return Value{}, err
+			}
+			if !a.IsArray() {
+				return Value{}, &RuntimeError{x.Pos, "len of non-array"}
+			}
+			return Value{Int: int64(len(a.Arr))}, nil
+		}
+		callee := in.prog.Src.Func(x.Name)
+		if callee == nil {
+			return Value{}, &RuntimeError{x.Pos, fmt.Sprintf("undefined function %q", x.Name)}
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.eval(fr, a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return in.call(cfg.FuncID(callee.Index), args, x.Pos)
+
+	default:
+		return Value{}, &RuntimeError{e.Position(), fmt.Sprintf("unknown expression %T", e)}
+	}
+}

@@ -1,0 +1,291 @@
+package minilang
+
+import "fmt"
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Position() Pos
+}
+
+// Program is a parsed minilang compilation unit.
+type Program struct {
+	Funcs []*FuncDecl
+	// ByName maps function name to its declaration.
+	ByName map[string]*FuncDecl
+}
+
+// Func returns the declaration of the named function, or nil.
+func (p *Program) Func(name string) *FuncDecl { return p.ByName[name] }
+
+// FuncDecl is one function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Pos    Pos
+	// Index is the function's position in Program.Funcs; it doubles as
+	// the FuncID used throughout the tracer.
+	Index int
+}
+
+// Position implements Node.
+func (f *FuncDecl) Position() Pos { return f.Pos }
+
+// ---- Statements ----
+
+// Stmt is the interface implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	LPos  Pos
+}
+
+// AssignStmt is `name = expr;` or `name[index] = expr;`.
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+	Pos   Pos
+}
+
+// VarStmt is `var name = expr;` — identical to assignment at runtime,
+// kept distinct so generated code reads naturally.
+type VarStmt struct {
+	Name  string
+	Value Expr
+	Pos   Pos
+}
+
+// IfStmt is `if (cond) { ... } else { ... }`; Else may be nil or
+// another BlockStmt/IfStmt.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // nil, *BlockStmt, or *IfStmt
+	Pos  Pos
+}
+
+// WhileStmt is `while (cond) { ... }`.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ForStmt is `for (init; cond; post) { ... }`; any clause may be nil
+// (Init and Post must be assignments when present).
+type ForStmt struct {
+	Init Stmt // *AssignStmt or *VarStmt or nil
+	Cond Expr // nil means true
+	Post Stmt // *AssignStmt or nil
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ReturnStmt is `return;` or `return expr;`.
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Pos   Pos
+}
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ Pos Pos }
+
+// PrintStmt is `print(expr, ...);`.
+type PrintStmt struct {
+	Args []Expr
+	Pos  Pos
+}
+
+// ReadStmt is `read name;` — assigns the next value from the program
+// input vector to name (0 when exhausted).
+type ReadStmt struct {
+	Name string
+	Pos  Pos
+}
+
+// ExprStmt is an expression evaluated for effect (a call): `f(x);`.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// Position implementations.
+func (s *BlockStmt) Position() Pos    { return s.LPos }
+func (s *AssignStmt) Position() Pos   { return s.Pos }
+func (s *VarStmt) Position() Pos      { return s.Pos }
+func (s *IfStmt) Position() Pos       { return s.Pos }
+func (s *WhileStmt) Position() Pos    { return s.Pos }
+func (s *ForStmt) Position() Pos      { return s.Pos }
+func (s *ReturnStmt) Position() Pos   { return s.Pos }
+func (s *BreakStmt) Position() Pos    { return s.Pos }
+func (s *ContinueStmt) Position() Pos { return s.Pos }
+func (s *PrintStmt) Position() Pos    { return s.Pos }
+func (s *ReadStmt) Position() Pos     { return s.Pos }
+func (s *ExprStmt) Position() Pos     { return s.Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode()   {}
+func (*VarStmt) stmtNode()      {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*PrintStmt) stmtNode()    {}
+func (*ReadStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+
+// ---- Expressions ----
+
+// Expr is the interface implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	Value int64
+	Pos   Pos
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr is an array element load: name[index].
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Pos   Pos
+}
+
+// BinaryExpr is a binary operation; Op is one of the operator token
+// kinds (Plus..OrOr).
+type BinaryExpr struct {
+	Op   TokenKind
+	X, Y Expr
+	Pos  Pos
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Op  TokenKind // Minus or Not
+	X   Expr
+	Pos Pos
+}
+
+// CallExpr is a function call or builtin (alloc, len).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// Position implementations.
+func (e *NumberLit) Position() Pos  { return e.Pos }
+func (e *Ident) Position() Pos      { return e.Pos }
+func (e *IndexExpr) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }
+
+func (*NumberLit) exprNode()  {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+
+// Builtin function names: alloc(n) creates a zeroed array, len(a)
+// returns an array's length.
+const (
+	BuiltinAlloc = "alloc"
+	BuiltinLen   = "len"
+)
+
+// IsBuiltin reports whether name is a builtin callable.
+func IsBuiltin(name string) bool {
+	return name == BuiltinAlloc || name == BuiltinLen
+}
+
+// Walk traverses the subtree rooted at n in depth-first preorder,
+// calling fn for every node. If fn returns false the node's children
+// are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *FuncDecl:
+		Walk(x.Body, fn)
+	case *BlockStmt:
+		for _, s := range x.Stmts {
+			Walk(s, fn)
+		}
+	case *AssignStmt:
+		if x.Index != nil {
+			Walk(x.Index, fn)
+		}
+		Walk(x.Value, fn)
+	case *VarStmt:
+		Walk(x.Value, fn)
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+		if x.Cond != nil {
+			Walk(x.Cond, fn)
+		}
+		if x.Post != nil {
+			Walk(x.Post, fn)
+		}
+		Walk(x.Body, fn)
+	case *ReturnStmt:
+		if x.Value != nil {
+			Walk(x.Value, fn)
+		}
+	case *PrintStmt:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *IndexExpr:
+		Walk(x.Index, fn)
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *BreakStmt, *ContinueStmt, *ReadStmt, *NumberLit, *Ident, *CallExpr:
+		if c, ok := x.(*CallExpr); ok {
+			for _, a := range c.Args {
+				Walk(a, fn)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("minilang.Walk: unknown node %T", n))
+	}
+}

@@ -1,0 +1,160 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenKindString(t *testing.T) {
+	cases := map[TokenKind]string{
+		EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+		KwFunc: "func", KwWhile: "while", LParen: "(", Semicolon: ";",
+		AndAnd: "&&", NotEq: "!=",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if s := TokenKind(999).String(); !strings.Contains(s, "999") {
+		t.Errorf("unknown kind string = %q", s)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Text: "x"}, `identifier "x"`},
+		{Token{Kind: NUMBER, Num: 42}, "number 42"},
+		{Token{Kind: KwIf}, `"if"`},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("Token.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFormatCoversAllConstructs(t *testing.T) {
+	src := `
+func main() {
+    var a = alloc(3);
+    read n;
+    a[0] = n;
+    for (i = 0; i < n; i = i + 1) {
+        if (i == 0) {
+            continue;
+        } else if (i == 1) {
+            helper(i);
+        } else {
+            break;
+        }
+    }
+    for (; ; ) {
+        break;
+    }
+    while (!(n > 0) || a[0] == 0 && n != 3) {
+        n = n + 1;
+    }
+    {
+        var nested = -n;
+        print(nested, a[0], len(a));
+    }
+    return;
+}
+func helper(v) {
+    return v * (1 + 2) / 3 % 4 - 5;
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(prog)
+	prog2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted output does not re-parse: %v\n%s", err, text)
+	}
+	if text2 := Format(prog2); text2 != text {
+		t.Errorf("Format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+	for _, want := range []string{"for (; ; )", "else if", "continue;", "break;",
+		"read n;", "return;", "alloc(3)", "len(a)", "-n"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	prog, err := Parse(`func main() { x = 1 + 2; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Funcs[0].Body.Stmts[0]
+	if got := StmtString(s); got != "x = (1 + 2);" {
+		t.Errorf("StmtString = %q", got)
+	}
+}
+
+func TestExprStringUnaryNot(t *testing.T) {
+	prog, err := Parse(`func main() { x = !(1 < 2); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := prog.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if got := ExprString(assign.Value); got != "!(1 < 2)" {
+		t.Errorf("ExprString = %q", got)
+	}
+}
+
+func TestForWithVarClause(t *testing.T) {
+	prog, err := Parse(`func main() { for (var i = 0; i < 2; i = i + 1) { print(i); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(prog)
+	if !strings.Contains(text, "for (var i = 0; (i < 2); i = (i + 1))") {
+		t.Errorf("for clause formatting:\n%s", text)
+	}
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{Line: 3, Col: 7}).String(); got != "3:7" {
+		t.Errorf("Pos.String = %q", got)
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	// Deep but balanced nesting must parse without stack trouble.
+	var b strings.Builder
+	b.WriteString("func main() { var x = 0;\n")
+	const depth = 200
+	for i := 0; i < depth; i++ {
+		b.WriteString("if (x == 0) {\n")
+	}
+	b.WriteString("x = 1;\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString("}\n")
+	}
+	b.WriteString("}\n")
+	if _, err := Parse(b.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParenthesizedExpressionPrecedence(t *testing.T) {
+	prog, err := Parse(`func main() { x = (1 + 2) * 3; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := prog.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if got := ExprString(assign.Value); got != "((1 + 2) * 3)" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,35 @@
+package minilang
+
+import "testing"
+
+// FuzzParse exercises the lexer/parser on arbitrary byte soup: it must
+// never panic, and any program that parses must survive a
+// Format -> Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"func main() { var x = 0; print(x); }",
+		"func main() { for (var i = 0; i < 3; i = i + 1) { if (i % 2 == 0) { continue; } } }",
+		"func main() { while (1) { break; } } func g(a, b) { return a[b]; }",
+		"func main() { read x; a[0] = alloc(3); }",
+		"func main() { x = -(1 + 2) * !3 && 4 || 5; }",
+		"func main() {", "}", "/* unterminated", "func func func",
+		"func main() { x = 1 }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(prog)
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\nsource: %q\nformatted:\n%s", err, src, text)
+		}
+		if text2 := Format(prog2); text2 != text {
+			t.Fatalf("Format not idempotent for %q", src)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package minilang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lexer tokenizes minilang source text.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// A LexError reports an invalid character or malformed literal.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("minilang: lex error at %s: %s", e.Pos, e.Msg)
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := Pos{l.line, l.col}
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return &LexError{start, "unterminated block comment"}
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if l.pos < len(l.src) && isLetter(l.peek()) {
+			return Token{}, &LexError{pos, fmt.Sprintf("malformed number %q", text+string(l.peek()))}
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, &LexError{pos, fmt.Sprintf("number %q out of range", text)}
+		}
+		return Token{Kind: NUMBER, Text: text, Num: n, Pos: pos}, nil
+	}
+
+	single := map[byte]TokenKind{
+		'(': LParen, ')': RParen, '{': LBrace, '}': RBrace,
+		'[': LBracket, ']': RBracket, ',': Comma, ';': Semicolon,
+		'+': Plus, '-': Minus, '*': Star, '/': Slash, '%': Percent,
+	}
+	l.advance()
+	switch c {
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: EqEq, Pos: pos}, nil
+		}
+		return Token{Kind: Assign, Pos: pos}, nil
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: Le, Pos: pos}, nil
+		}
+		return Token{Kind: Lt, Pos: pos}, nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: Ge, Pos: pos}, nil
+		}
+		return Token{Kind: Gt, Pos: pos}, nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: NotEq, Pos: pos}, nil
+		}
+		return Token{Kind: Not, Pos: pos}, nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: AndAnd, Pos: pos}, nil
+		}
+		return Token{}, &LexError{pos, "expected && (single & not supported)"}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: OrOr, Pos: pos}, nil
+		}
+		return Token{}, &LexError{pos, "expected || (single | not supported)"}
+	default:
+		if k, ok := single[c]; ok {
+			return Token{Kind: k, Pos: pos}, nil
+		}
+		return Token{}, &LexError{pos, fmt.Sprintf("unexpected character %q", string(c))}
+	}
+}
+
+// Tokenize lexes all of src, returning the tokens excluding the final
+// EOF token.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.Kind == EOF {
+			return out, nil
+		}
+		out = append(out, tok)
+	}
+}

@@ -1,0 +1,550 @@
+package minilang
+
+import "fmt"
+
+// ParseError reports a syntax error with its source position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("minilang: parse error at %s: %s", e.Pos, e.Msg)
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete minilang program and performs basic semantic
+// checks (duplicate/undefined functions, arity of builtins, presence of
+// main).
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	// Append an explicit EOF sentinel so peeks never run off the end.
+	last := Pos{1, 1}
+	if n := len(toks); n > 0 {
+		last = toks[n-1].Pos
+	}
+	toks = append(toks, Token{Kind: EOF, Pos: last})
+
+	p := &parser{toks: toks}
+	prog := &Program{ByName: make(map[string]*FuncDecl)}
+	for p.peek().Kind != EOF {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		if prog.ByName[fn.Name] != nil {
+			return nil, &ParseError{fn.Pos, fmt.Sprintf("function %q redeclared", fn.Name)}
+		}
+		fn.Index = len(prog.Funcs)
+		prog.Funcs = append(prog.Funcs, fn)
+		prog.ByName[fn.Name] = fn
+	}
+	if err := checkProgram(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *parser) peek() Token  { return p.toks[p.pos] }
+func (p *parser) peek2() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, &ParseError{t.Pos, fmt.Sprintf("expected %q, found %s", k, t)}
+	}
+	return p.next(), nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw, err := p.expect(KwFunc)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	seen := make(map[string]bool)
+	for p.peek().Kind != RParen {
+		if len(params) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if seen[id.Text] {
+			return nil, &ParseError{id.Pos, fmt.Sprintf("duplicate parameter %q", id.Text)}
+		}
+		seen[id.Text] = true
+		params = append(params, id.Text)
+	}
+	p.next() // RParen
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.Text, Params: params, Body: body, Pos: kw.Pos}, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	l, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{LPos: l.Pos}
+	for p.peek().Kind != RBrace {
+		if p.peek().Kind == EOF {
+			return nil, &ParseError{p.peek().Pos, "unexpected EOF, expected }"}
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // RBrace
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case LBrace:
+		return p.block()
+	case KwVar:
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name.Text, Value: v, Pos: t.Pos}, nil
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+	case KwFor:
+		return p.forStmt()
+	case KwReturn:
+		p.next()
+		var v Expr
+		if p.peek().Kind != Semicolon {
+			var err error
+			v, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: v, Pos: t.Pos}, nil
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	case KwPrint:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		for p.peek().Kind != RParen {
+			if len(args) > 0 {
+				if _, err := p.expect(Comma); err != nil {
+					return nil, err
+				}
+			}
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		p.next() // RParen
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Args: args, Pos: t.Pos}, nil
+	case KwRead:
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ReadStmt{Name: name.Text, Pos: t.Pos}, nil
+	case IDENT:
+		return p.assignOrCall()
+	default:
+		return nil, &ParseError{t.Pos, fmt.Sprintf("unexpected %s at start of statement", t)}
+	}
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els Stmt
+	if p.peek().Kind == KwElse {
+		p.next()
+		if p.peek().Kind == KwIf {
+			els, err = p.ifStmt()
+		} else {
+			els, err = p.block()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Pos: t.Pos}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{Pos: t.Pos}
+	if p.peek().Kind != Semicolon {
+		s, err := p.simpleAssign()
+		if err != nil {
+			return nil, err
+		}
+		f.Init = s
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != Semicolon {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != RParen {
+		s, err := p.simpleAssign()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = s
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// simpleAssign parses `name = expr` or `var name = expr` (no trailing
+// semicolon), for use in for-clauses.
+func (p *parser) simpleAssign() (Stmt, error) {
+	t := p.peek()
+	if t.Kind == KwVar {
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name.Text, Value: v, Pos: t.Pos}, nil
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Assign); err != nil {
+		return nil, err
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Name: name.Text, Value: v, Pos: t.Pos}, nil
+}
+
+// assignOrCall distinguishes `x = e;`, `x[i] = e;`, and `f(...);`.
+func (p *parser) assignOrCall() (Stmt, error) {
+	name := p.next() // IDENT
+	switch p.peek().Kind {
+	case Assign:
+		p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.Text, Value: v, Pos: name.Pos}, nil
+	case LBracket:
+		p.next()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.Text, Index: idx, Value: v, Pos: name.Pos}, nil
+	case LParen:
+		call, err := p.callRest(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: call, Pos: name.Pos}, nil
+	default:
+		return nil, &ParseError{p.peek().Pos, fmt.Sprintf("expected =, [, or ( after identifier, found %s", p.peek())}
+	}
+}
+
+func (p *parser) callRest(name Token) (*CallExpr, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Name: name.Text, Pos: name.Pos}
+	for p.peek().Kind != RParen {
+		if len(call.Args) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, a)
+	}
+	p.next() // RParen
+	return call, nil
+}
+
+// Operator precedence, loosest first.
+var precedence = map[TokenKind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	EqEq:   3, NotEq: 3,
+	Lt: 4, Le: 4, Gt: 4, Ge: 4,
+	Plus: 5, Minus: 5,
+	Star: 6, Slash: 6, Percent: 6,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		prec, ok := precedence[op.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Kind, X: lhs, Y: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case Minus, Not:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Pos: t.Pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case NUMBER:
+		p.next()
+		return &NumberLit{Value: t.Num, Pos: t.Pos}, nil
+	case LParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case IDENT:
+		p.next()
+		switch p.peek().Kind {
+		case LParen:
+			return p.callRest(t)
+		case LBracket:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.Text, Index: idx, Pos: t.Pos}, nil
+		default:
+			return &Ident{Name: t.Text, Pos: t.Pos}, nil
+		}
+	default:
+		return nil, &ParseError{t.Pos, fmt.Sprintf("unexpected %s in expression", t)}
+	}
+}
+
+// checkProgram performs post-parse semantic validation.
+func checkProgram(prog *Program) error {
+	if prog.Func("main") == nil {
+		return &ParseError{Pos{1, 1}, "program has no main function"}
+	}
+	var err error
+	for _, fn := range prog.Funcs {
+		Walk(fn, func(n Node) bool {
+			if err != nil {
+				return false
+			}
+			call, ok := n.(*CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case call.Name == BuiltinAlloc:
+				if len(call.Args) != 1 {
+					err = &ParseError{call.Pos, "alloc takes exactly one argument"}
+				}
+			case call.Name == BuiltinLen:
+				if len(call.Args) != 1 {
+					err = &ParseError{call.Pos, "len takes exactly one argument"}
+				}
+			default:
+				callee := prog.Func(call.Name)
+				if callee == nil {
+					err = &ParseError{call.Pos, fmt.Sprintf("call to undefined function %q", call.Name)}
+				} else if len(call.Args) != len(callee.Params) {
+					err = &ParseError{call.Pos, fmt.Sprintf("function %q takes %d arguments, got %d",
+						call.Name, len(callee.Params), len(call.Args))}
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package minilang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format pretty-prints a program as parseable minilang source.
+func Format(p *Program) string {
+	var b strings.Builder
+	for i, fn := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		formatFunc(&b, fn)
+	}
+	return b.String()
+}
+
+func formatFunc(b *strings.Builder, fn *FuncDecl) {
+	fmt.Fprintf(b, "func %s(%s) ", fn.Name, strings.Join(fn.Params, ", "))
+	formatBlock(b, fn.Body, 0)
+	b.WriteByte('\n')
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func formatBlock(b *strings.Builder, blk *BlockStmt, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		formatStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch x := s.(type) {
+	case *BlockStmt:
+		formatBlock(b, x, depth)
+		b.WriteByte('\n')
+	case *VarStmt:
+		fmt.Fprintf(b, "var %s = %s;\n", x.Name, ExprString(x.Value))
+	case *AssignStmt:
+		if x.Index != nil {
+			fmt.Fprintf(b, "%s[%s] = %s;\n", x.Name, ExprString(x.Index), ExprString(x.Value))
+		} else {
+			fmt.Fprintf(b, "%s = %s;\n", x.Name, ExprString(x.Value))
+		}
+	case *IfStmt:
+		fmt.Fprintf(b, "if (%s) ", ExprString(x.Cond))
+		formatBlock(b, x.Then, depth)
+		for x.Else != nil {
+			if elif, ok := x.Else.(*IfStmt); ok {
+				fmt.Fprintf(b, " else if (%s) ", ExprString(elif.Cond))
+				formatBlock(b, elif.Then, depth)
+				x = elif
+				continue
+			}
+			b.WriteString(" else ")
+			formatBlock(b, x.Else.(*BlockStmt), depth)
+			break
+		}
+		b.WriteByte('\n')
+	case *WhileStmt:
+		fmt.Fprintf(b, "while (%s) ", ExprString(x.Cond))
+		formatBlock(b, x.Body, depth)
+		b.WriteByte('\n')
+	case *ForStmt:
+		b.WriteString("for (")
+		if x.Init != nil {
+			b.WriteString(clauseString(x.Init))
+		}
+		b.WriteString("; ")
+		if x.Cond != nil {
+			b.WriteString(ExprString(x.Cond))
+		}
+		b.WriteString("; ")
+		if x.Post != nil {
+			b.WriteString(clauseString(x.Post))
+		}
+		b.WriteString(") ")
+		formatBlock(b, x.Body, depth)
+		b.WriteByte('\n')
+	case *ReturnStmt:
+		if x.Value != nil {
+			fmt.Fprintf(b, "return %s;\n", ExprString(x.Value))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *BreakStmt:
+		b.WriteString("break;\n")
+	case *ContinueStmt:
+		b.WriteString("continue;\n")
+	case *PrintStmt:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		fmt.Fprintf(b, "print(%s);\n", strings.Join(args, ", "))
+	case *ReadStmt:
+		fmt.Fprintf(b, "read %s;\n", x.Name)
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s;\n", ExprString(x.X))
+	default:
+		panic(fmt.Sprintf("minilang.formatStmt: unknown statement %T", s))
+	}
+}
+
+func clauseString(s Stmt) string {
+	switch x := s.(type) {
+	case *VarStmt:
+		return fmt.Sprintf("var %s = %s", x.Name, ExprString(x.Value))
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s", x.Name, ExprString(x.Value))
+	default:
+		panic(fmt.Sprintf("minilang.clauseString: unsupported clause %T", s))
+	}
+}
+
+var opText = map[TokenKind]string{
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=", EqEq: "==", NotEq: "!=",
+	AndAnd: "&&", OrOr: "||", Not: "!",
+}
+
+// ExprString renders an expression as source text. Parentheses are
+// emitted conservatively around every binary operand, which keeps the
+// printer trivially correct (re-parsing yields the same tree shape up
+// to redundant grouping).
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *NumberLit:
+		return fmt.Sprintf("%d", x.Value)
+	case *Ident:
+		return x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Name, ExprString(x.Index))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.X), opText[x.Op], ExprString(x.Y))
+	case *UnaryExpr:
+		return fmt.Sprintf("%s%s", opText[x.Op], ExprString(x.X))
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	default:
+		panic(fmt.Sprintf("minilang.ExprString: unknown expression %T", e))
+	}
+}
+
+// StmtString renders a single statement as one line of source (used in
+// diagnostics and in the slicing application's output).
+func StmtString(s Stmt) string {
+	var b strings.Builder
+	formatStmt(&b, s, 0)
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,118 @@
+// Package minilang implements the small imperative language used as the
+// tracing substrate for the TWPP reproduction. The paper (Zhang & Gupta,
+// PLDI 2001) collected whole program paths from SPECint95 binaries via
+// the Trimaran infrastructure; here, programs written in (or generated
+// into) minilang are compiled to control flow graphs and executed by a
+// tracing interpreter, which produces structurally equivalent WPPs.
+//
+// The language is deliberately C-like: integer variables, arrays,
+// arithmetic and logical expressions, if/else, while, for,
+// break/continue, functions with call-by-value integers and
+// by-reference arrays, `read` (from a supplied input vector) and
+// `print` (to a collected output vector).
+package minilang
+
+import "fmt"
+
+// TokenKind enumerates lexical token types.
+type TokenKind int
+
+// Token kinds.
+const (
+	EOF TokenKind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	KwFunc
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwPrint
+	KwRead
+	KwVar
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+
+	// Operators.
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	Not
+)
+
+var tokenNames = map[TokenKind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+	KwFunc: "func", KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwFor: "for", KwReturn: "return", KwBreak: "break",
+	KwContinue: "continue", KwPrint: "print", KwRead: "read", KwVar: "var",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semicolon: ";",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||", Not: "!",
+}
+
+// String returns the human-readable name of the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"func": KwFunc, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"for": KwFor, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue, "print": KwPrint, "read": KwRead, "var": KwVar,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string // identifier name or number literal text
+	Num  int64  // value when Kind == NUMBER
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case NUMBER:
+		return fmt.Sprintf("number %d", t.Num)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}

@@ -1,0 +1,251 @@
+// Package redundancy implements the profile-guided optimization
+// application of §4.3.1 of Zhang & Gupta (PLDI 2001): computing the
+// precise degree of redundancy of load instructions from a timestamped
+// whole program path.
+//
+// A load of array a is redundant at a given execution when the loaded
+// value is already available in a register: some earlier block loaded
+// from a and no intervening block stored to a (nor called a function
+// that might). Edge or path profiles can only bound this frequency;
+// the TWPP yields the exact count via one demand-driven backward query
+// (Figure 9 of the paper).
+package redundancy
+
+import (
+	"fmt"
+	"sort"
+
+	"twpp/internal/cfg"
+	"twpp/internal/dataflow"
+)
+
+// LoadSite identifies a load instruction: block Block reads an element
+// of array Array.
+type LoadSite struct {
+	Block cfg.BlockID
+	Array string
+}
+
+// FindLoads returns every load site in the function, sorted by block
+// then array name.
+func FindLoads(g *cfg.Graph) []LoadSite {
+	var out []LoadSite
+	seen := map[LoadSite]bool{}
+	for _, b := range g.Blocks {
+		eff := cfg.BlockEffects(b)
+		for _, u := range eff.Uses {
+			if !u.Array {
+				continue
+			}
+			s := LoadSite{Block: b.ID, Array: u.Var}
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Block != out[j].Block {
+			return out[i].Block < out[j].Block
+		}
+		return out[i].Array < out[j].Array
+	})
+	return out
+}
+
+// Summary is a conservative interprocedural effect summary of one
+// function: whether calling it may store to any array (arrays are
+// passed by reference, so a callee store kills availability in the
+// caller).
+type Summary struct {
+	StoresArrays bool
+	LoadsArrays  bool
+}
+
+// Summaries computes transitive effect summaries for every function of
+// the program by fixpoint iteration over the (static) call graph.
+func Summaries(p *cfg.Program) map[cfg.FuncID]Summary {
+	out := make(map[cfg.FuncID]Summary, len(p.Graphs))
+	// Direct effects and call edges.
+	calls := make(map[cfg.FuncID][]cfg.FuncID)
+	for f, g := range p.Graphs {
+		var s Summary
+		for _, b := range g.Blocks {
+			eff := cfg.BlockEffects(b)
+			for _, d := range eff.Defs {
+				if d.Array {
+					s.StoresArrays = true
+				}
+			}
+			for _, u := range eff.Uses {
+				if u.Array {
+					s.LoadsArrays = true
+				}
+			}
+			for _, callee := range eff.Calls {
+				if fd := p.Src.Func(callee); fd != nil {
+					calls[cfg.FuncID(f)] = append(calls[cfg.FuncID(f)], cfg.FuncID(fd.Index))
+				}
+			}
+		}
+		out[cfg.FuncID(f)] = s
+	}
+	// Propagate to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for f, callees := range calls {
+			s := out[f]
+			for _, c := range callees {
+				cs := out[c]
+				ns := Summary{
+					StoresArrays: s.StoresArrays || cs.StoresArrays,
+					LoadsArrays:  s.LoadsArrays || cs.LoadsArrays,
+				}
+				if ns != s {
+					out[f] = ns
+					s = ns
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// availabilityProblem is the GEN-KILL problem "a value of array arr is
+// available": blocks that load arr generate it; blocks that store arr
+// — or call a function that may — kill it. Within a single block the
+// later statement wins.
+type availabilityProblem struct {
+	g         *cfg.Graph
+	p         *cfg.Program
+	arr       string
+	summaries map[cfg.FuncID]Summary
+}
+
+// Effect implements dataflow.Problem.
+func (a *availabilityProblem) Effect(b cfg.BlockID) dataflow.Effect {
+	blk := a.g.Block(b)
+	if blk == nil {
+		return dataflow.Transparent
+	}
+	eff := dataflow.Transparent
+	update := func(stmtEff cfg.Effects) {
+		// Statement order within the block: process gen then kill so a
+		// statement that both loads and stores the array nets to kill
+		// (the store invalidates the register copy).
+		loads, stores := false, false
+		for _, u := range stmtEff.Uses {
+			if u.Array && u.Var == a.arr {
+				loads = true
+			}
+		}
+		for _, d := range stmtEff.Defs {
+			if d.Array && d.Var == a.arr {
+				stores = true
+			}
+		}
+		for _, callee := range stmtEff.Calls {
+			if fd := a.p.Src.Func(callee); fd != nil {
+				if a.summaries[cfg.FuncID(fd.Index)].StoresArrays {
+					stores = true
+				}
+			}
+		}
+		if loads {
+			eff = dataflow.Gen
+		}
+		if stores {
+			eff = dataflow.Kill
+		}
+	}
+	for _, s := range blk.Stmts {
+		update(cfg.StmtEffects(s))
+	}
+	// Terminator conditions can load too.
+	switch t := blk.Term.(type) {
+	case *cfg.CondJump:
+		var e cfg.Effects
+		cfg.ExprEffects(t.Cond, &e)
+		update(e)
+	case *cfg.Ret:
+		if t.Value != nil {
+			var e cfg.Effects
+			cfg.ExprEffects(t.Value, &e)
+			update(e)
+		}
+	}
+	return eff
+}
+
+// Report is the redundancy analysis result for one load site.
+type Report struct {
+	Site LoadSite
+	// Executions is how many times the load ran in the analyzed trace.
+	Executions int
+	// Redundant is how many of those executions found the value
+	// already available.
+	Redundant int
+	// Degree is Redundant/Executions in [0,1].
+	Degree float64
+	// Queries is the demand-driven query count (paper Figure 9's cost
+	// metric).
+	Queries int
+}
+
+// Analyze computes the degree of redundancy of one load site over one
+// path trace of the function.
+func Analyze(p *cfg.Program, f cfg.FuncID, tg *dataflow.TGraph, site LoadSite) (*Report, error) {
+	g := p.Graph(f)
+	if g == nil {
+		return nil, fmt.Errorf("redundancy: no function %d", f)
+	}
+	node := tg.Node(site.Block)
+	if node == nil {
+		// The load never executed in this trace.
+		return &Report{Site: site}, nil
+	}
+	prob := &availabilityProblem{g: g, p: p, arr: site.Array, summaries: Summaries(p)}
+	// The query asks about availability *before* the load executes, so
+	// the site's own Gen effect does not apply to itself.
+	res, err := dataflow.SolveAll(tg, prob, site.Block)
+	if err != nil {
+		return nil, err
+	}
+	execs := node.Times.Count()
+	red := res.True.Count()
+	return &Report{
+		Site:       site,
+		Executions: execs,
+		Redundant:  red,
+		Degree:     float64(red) / float64(execs),
+		Queries:    res.Queries,
+	}, nil
+}
+
+// AnalyzeFunction analyzes every load site of function f over the
+// given trace.
+func AnalyzeFunction(p *cfg.Program, f cfg.FuncID, tg *dataflow.TGraph) ([]*Report, error) {
+	g := p.Graph(f)
+	if g == nil {
+		return nil, fmt.Errorf("redundancy: no function %d", f)
+	}
+	var out []*Report
+	for _, site := range FindLoads(g) {
+		r, err := Analyze(p, f, tg, site)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// String renders the report in one line.
+func (r *Report) String() string {
+	return fmt.Sprintf("load of %s[] at B%d: %d/%d redundant (%.0f%%), %d queries",
+		r.Site.Array, r.Site.Block, r.Redundant, r.Executions, 100*r.Degree, r.Queries)
+}
+
+// interface check
+var _ dataflow.Problem = (*availabilityProblem)(nil)

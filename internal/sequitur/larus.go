@@ -1,0 +1,170 @@
+package sequitur
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the Larus-style compressed whole program path
+// (Larus, "Whole Program Paths", PLDI 1999): the entire control flow
+// trace — block ids interleaved with call/return markers — is fed to
+// Sequitur as one symbol stream, and the resulting grammar is the
+// stored representation.
+//
+// Extracting the path traces of a single function from this
+// representation requires reading the whole grammar and processing it
+// (expanding while tracking the call stack), which is exactly the
+// access-cost asymmetry Table 5 of Zhang & Gupta quantifies.
+
+// Symbol-space layout for WPP streams. Block ids occupy [1, enterBase);
+// ENTER markers for function f are enterBase+f; EXIT is a single marker
+// (the stack disambiguates which call it closes).
+const (
+	// ExitMarker closes the most recent ENTER.
+	ExitMarker uint32 = 0
+	// enterBase is the first ENTER marker value. Block ids must be
+	// below it.
+	enterBase uint32 = 1 << 24
+)
+
+// EnterMarker returns the symbol marking entry to function f.
+func EnterMarker(f int) uint32 { return enterBase + uint32(f) }
+
+// IsEnter reports whether sym is an ENTER marker, and for which
+// function.
+func IsEnter(sym uint32) (int, bool) {
+	if sym >= enterBase && sym < RuleBase {
+		return int(sym - enterBase), true
+	}
+	return 0, false
+}
+
+// CompressedWPP is a whole program path compressed with Sequitur, in
+// its serialized (storable) form.
+type CompressedWPP struct {
+	Data []byte
+}
+
+// CompressWPP runs Sequitur over the linear WPP symbol stream and
+// serializes the grammar. The stream must be well formed: every ENTER
+// has a matching EXIT and block ids appear only inside some call.
+func CompressWPP(stream []uint32) *CompressedWPP {
+	g := New()
+	for _, s := range stream {
+		g.Append(s)
+	}
+	return &CompressedWPP{Data: g.Encode()}
+}
+
+// Size reports the stored size in bytes.
+func (c *CompressedWPP) Size() int { return len(c.Data) }
+
+// ExtractResult holds the outcome of extracting one function's traces
+// from a compressed WPP, split into the two phases the paper times
+// separately ("read" = parse the grammar, "process" = expand and
+// collect).
+type ExtractResult struct {
+	// Traces are the path traces (block id sequences) of every call to
+	// the requested function, in call order. Nested calls' blocks are
+	// excluded — they belong to the callee's own traces.
+	Traces [][]uint32
+	// Subgrammar is the compressed form of the concatenated traces,
+	// which is what Larus-style tooling would hand to a client.
+	Subgrammar *CompressedWPP
+}
+
+// ExtractFunction recovers the path traces of function f from the
+// compressed WPP. This requires decoding the entire grammar and
+// expanding it with call-stack tracking — there is no random access.
+func (c *CompressedWPP) ExtractFunction(f int) (*ExtractResult, error) {
+	d, err := Decode(c.Data)
+	if err != nil {
+		return nil, err
+	}
+	return extractFrom(d, f)
+}
+
+func extractFrom(d *Decoded, f int) (*ExtractResult, error) {
+	want := EnterMarker(f)
+	res := &ExtractResult{}
+	// stack holds, per open call, whether it is a call to f, and if so
+	// the trace being collected.
+	type open struct {
+		isTarget bool
+		trace    []uint32
+	}
+	var stack []open
+	var streamErr error
+	err := d.ExpandFunc(func(sym uint32) {
+		if streamErr != nil {
+			return
+		}
+		switch {
+		case sym == ExitMarker:
+			if len(stack) == 0 {
+				streamErr = fmt.Errorf("sequitur: EXIT with empty call stack")
+				return
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if top.isTarget {
+				res.Traces = append(res.Traces, top.trace)
+			}
+		case sym >= enterBase:
+			stack = append(stack, open{isTarget: sym == want})
+		default:
+			if len(stack) == 0 {
+				streamErr = fmt.Errorf("sequitur: block id %d outside any call", sym)
+				return
+			}
+			top := &stack[len(stack)-1]
+			if top.isTarget {
+				top.trace = append(top.trace, sym)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if streamErr != nil {
+		return nil, streamErr
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("sequitur: %d unclosed calls at end of WPP", len(stack))
+	}
+	// Build the subgrammar over the concatenated traces, separated by
+	// EXIT markers so trace boundaries survive.
+	sub := New()
+	for _, tr := range res.Traces {
+		for _, b := range tr {
+			sub.Append(b)
+		}
+		sub.Append(ExitMarker)
+	}
+	res.Subgrammar = &CompressedWPP{Data: sub.Encode()}
+	return res, nil
+}
+
+// FunctionsInWPP scans a compressed WPP and returns the set of function
+// ids that appear, sorted. Like extraction, this is a full pass.
+func (c *CompressedWPP) FunctionsInWPP() ([]int, error) {
+	d, err := Decode(c.Data)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool)
+	err = d.ExpandFunc(func(sym uint32) {
+		if f, ok := IsEnter(sym); ok {
+			seen[f] = true
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Ints(out)
+	return out, nil
+}

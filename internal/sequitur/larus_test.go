@@ -1,0 +1,187 @@
+package sequitur
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildWPPStream constructs a well-formed linear WPP symbol stream and
+// records, per function, the expected path traces.
+func buildWPPStream(rng *rand.Rand, numFuncs, calls int) ([]uint32, map[int][][]uint32) {
+	var stream []uint32
+	want := make(map[int][][]uint32)
+
+	// emitCall appends one call to function f, possibly with nested
+	// calls, and records f's own trace (excluding callee blocks).
+	var emitCall func(f, depth int)
+	emitCall = func(f, depth int) {
+		stream = append(stream, EnterMarker(f))
+		var trace []uint32
+		nblocks := 2 + rng.Intn(6)
+		for i := 0; i < nblocks; i++ {
+			b := uint32(1 + rng.Intn(9))
+			stream = append(stream, b)
+			trace = append(trace, b)
+			if depth < 3 && rng.Intn(5) == 0 {
+				emitCall(rng.Intn(numFuncs), depth+1)
+			}
+		}
+		stream = append(stream, ExitMarker)
+		want[f] = append(want[f], trace)
+	}
+
+	for i := 0; i < calls; i++ {
+		emitCall(rng.Intn(numFuncs), 0)
+	}
+	return stream, want
+}
+
+func TestCompressExtractRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	stream, want := buildWPPStream(rng, 4, 60)
+	c := CompressWPP(stream)
+	if c.Size() == 0 {
+		t.Fatal("empty compressed WPP")
+	}
+	for f := 0; f < 4; f++ {
+		res, err := c.ExtractFunction(f)
+		if err != nil {
+			t.Fatalf("ExtractFunction(%d): %v", f, err)
+		}
+		if !reflect.DeepEqual(res.Traces, want[f]) {
+			t.Errorf("function %d: got %d traces, want %d\n got %v\nwant %v",
+				f, len(res.Traces), len(want[f]), res.Traces, want[f])
+		}
+		if res.Subgrammar == nil || res.Subgrammar.Size() == 0 {
+			t.Errorf("function %d: missing subgrammar", f)
+		}
+	}
+}
+
+func TestExtractAbsentFunction(t *testing.T) {
+	stream := []uint32{EnterMarker(0), 1, 2, 3, ExitMarker}
+	c := CompressWPP(stream)
+	res, err := c.ExtractFunction(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 0 {
+		t.Errorf("absent function: got %d traces", len(res.Traces))
+	}
+}
+
+func TestExtractNestedExcludesCalleeBlocks(t *testing.T) {
+	// main: blocks 1,2 then calls f (blocks 7,8), then block 3.
+	stream := []uint32{
+		EnterMarker(0), 1, 2,
+		EnterMarker(1), 7, 8, ExitMarker,
+		3, ExitMarker,
+	}
+	c := CompressWPP(stream)
+	res0, err := c.ExtractFunction(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]uint32{{1, 2, 3}}; !reflect.DeepEqual(res0.Traces, want) {
+		t.Errorf("main traces = %v, want %v", res0.Traces, want)
+	}
+	res1, err := c.ExtractFunction(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]uint32{{7, 8}}; !reflect.DeepEqual(res1.Traces, want) {
+		t.Errorf("f traces = %v, want %v", res1.Traces, want)
+	}
+}
+
+func TestExtractRecursiveCalls(t *testing.T) {
+	// f calls itself: outer trace (1,2,3), inner trace (1,3).
+	stream := []uint32{
+		EnterMarker(5), 1, 2,
+		EnterMarker(5), 1, 3, ExitMarker,
+		3, ExitMarker,
+	}
+	c := CompressWPP(stream)
+	res, err := c.ExtractFunction(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner call exits first, so its trace is recorded first.
+	if want := [][]uint32{{1, 3}, {1, 2, 3}}; !reflect.DeepEqual(res.Traces, want) {
+		t.Errorf("recursive traces = %v, want %v", res.Traces, want)
+	}
+}
+
+func TestMalformedStreams(t *testing.T) {
+	cases := [][]uint32{
+		{ExitMarker},                     // exit with empty stack
+		{1, 2, 3},                        // blocks outside any call
+		{EnterMarker(0), 1, 2},           // unclosed call
+		{EnterMarker(0), ExitMarker, 99}, // trailing block outside call
+	}
+	for i, stream := range cases {
+		c := CompressWPP(stream)
+		if _, err := c.ExtractFunction(0); err == nil {
+			t.Errorf("case %d: want error for malformed stream %v", i, stream)
+		}
+	}
+}
+
+func TestFunctionsInWPP(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	stream, want := buildWPPStream(rng, 6, 40)
+	c := CompressWPP(stream)
+	funcs, err := c.FunctionsInWPP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range funcs {
+		if len(want[f]) == 0 {
+			t.Errorf("FunctionsInWPP reported %d which has no traces", f)
+		}
+	}
+	for f, traces := range want {
+		if len(traces) == 0 {
+			continue
+		}
+		found := false
+		for _, got := range funcs {
+			if got == f {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("function %d missing from FunctionsInWPP", f)
+		}
+	}
+}
+
+func TestEnterMarkerRoundTrip(t *testing.T) {
+	for _, f := range []int{0, 1, 7, 1000} {
+		m := EnterMarker(f)
+		got, ok := IsEnter(m)
+		if !ok || got != f {
+			t.Errorf("IsEnter(EnterMarker(%d)) = %d, %v", f, got, ok)
+		}
+	}
+	if _, ok := IsEnter(5); ok {
+		t.Error("IsEnter(5) = true for a block id")
+	}
+	if _, ok := IsEnter(ExitMarker); ok {
+		t.Error("IsEnter(ExitMarker) = true")
+	}
+}
+
+func TestCompressionBeatsRawOnRedundantWPP(t *testing.T) {
+	// Many identical calls: the grammar should be far smaller than the
+	// raw stream (4 bytes/symbol).
+	var stream []uint32
+	for i := 0; i < 2000; i++ {
+		stream = append(stream, EnterMarker(1), 1, 2, 3, 4, 5, 6, ExitMarker)
+	}
+	c := CompressWPP(stream)
+	if raw := len(stream) * 4; c.Size() > raw/20 {
+		t.Errorf("compressed %d bytes vs raw %d; expected >20x", c.Size(), len(stream)*4)
+	}
+}

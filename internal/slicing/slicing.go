@@ -1,0 +1,341 @@
+// Package slicing implements the three dynamic slicing algorithms of
+// Agrawal & Horgan on top of the timestamped dynamic control flow
+// graph, as described in §4.3.2 of Zhang & Gupta (PLDI 2001). All
+// three run off one shared representation — the timestamp-annotated
+// dynamic CFG — instead of the three specialized dependence graphs of
+// the original paper:
+//
+//   - Approach 1 traverses the static program dependence graph
+//     restricted to executed nodes (imprecise but cheap);
+//   - Approach 2 traverses only dependence edges that were exercised
+//     during the execution, at node granularity;
+//   - Approach 3 distinguishes statement instances via timestamps,
+//     yielding the precise dynamic slice.
+//
+// The approaches are ordered by precision: Slice3 ⊆ Slice2 ⊆ Slice1.
+//
+// Slicing operates on per-statement CFGs (cfg.PerStatement) so block
+// ids coincide with statement numbers, as in the paper's Figures 10-11.
+package slicing
+
+import (
+	"fmt"
+	"sort"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/dataflow"
+	"twpp/internal/wpp"
+)
+
+// Criterion identifies what to slice on: the values of Vars at the
+// given block. Time selects the execution instance for the
+// instance-precise Approach 3 (0 means the block's last execution);
+// Approaches 1 and 2 ignore it.
+type Criterion struct {
+	Block cfg.BlockID
+	Vars  []cfg.Loc
+	Time  core.Timestamp
+}
+
+// Slice is the result: the set of blocks (statements) the criterion
+// transitively depends on, criterion included.
+type Slice struct {
+	Blocks []cfg.BlockID
+	// Visited counts dependence queries processed, a rough cost
+	// measure.
+	Visited int
+}
+
+// Contains reports whether block b is in the slice.
+func (s *Slice) Contains(b cfg.BlockID) bool {
+	for _, x := range s.Blocks {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Slicer prepares the shared state for slicing one function execution:
+// the static graph, its dependence information, and the dynamic trace.
+type Slicer struct {
+	G  *cfg.Graph
+	TG *dataflow.TGraph
+
+	path     wpp.PathTrace
+	uses     map[cfg.BlockID][]cfg.Loc
+	defs     map[cfg.BlockID][]cfg.Loc
+	ctrlDeps map[cfg.BlockID][]cfg.BlockID
+	reach    *dataflow.ReachInfo
+
+	// dataDepAt[t] lists, per use of the block executing at timestamp
+	// t+1, the timestamp of the definition instance it consumed (0 if
+	// the value predates the trace).
+	dataDepAt [][]depInstance
+	// ctrlDepAt[t] is the timestamp of the controlling branch instance
+	// of the execution at t+1 (0 if none).
+	ctrlDepAt []core.Timestamp
+}
+
+type depInstance struct {
+	loc  cfg.Loc
+	defT core.Timestamp
+}
+
+// New builds a Slicer for the given static graph and dynamic trace.
+func New(g *cfg.Graph, tg *dataflow.TGraph) *Slicer {
+	s := &Slicer{
+		G:        g,
+		TG:       tg,
+		path:     tg.Path(),
+		uses:     make(map[cfg.BlockID][]cfg.Loc),
+		defs:     make(map[cfg.BlockID][]cfg.Loc),
+		ctrlDeps: cfg.ControlDeps(g),
+		reach:    dataflow.ReachingDefs(g),
+	}
+	for _, b := range g.Blocks {
+		eff := cfg.BlockEffects(b)
+		s.uses[b.ID] = eff.Uses
+		s.defs[b.ID] = eff.Defs
+	}
+	s.replay()
+	return s
+}
+
+// replay walks the path once, recording per-instance data and control
+// dependences.
+func (s *Slicer) replay() {
+	lastDef := make(map[cfg.Loc]core.Timestamp)
+	lastExec := make(map[cfg.BlockID]core.Timestamp)
+	s.dataDepAt = make([][]depInstance, len(s.path))
+	s.ctrlDepAt = make([]core.Timestamp, len(s.path))
+	for i, b := range s.path {
+		t := core.Timestamp(i + 1)
+		for _, u := range s.uses[b] {
+			s.dataDepAt[i] = append(s.dataDepAt[i], depInstance{loc: u, defT: lastDef[u]})
+		}
+		var ctrl core.Timestamp
+		for _, cd := range s.ctrlDeps[b] {
+			if le := lastExec[cd]; le > ctrl && le < t {
+				ctrl = le
+			}
+		}
+		s.ctrlDepAt[i] = ctrl
+		for _, d := range s.defs[b] {
+			lastDef[d] = t
+		}
+		lastExec[b] = t
+	}
+}
+
+// critVars returns the criterion variables, defaulting to the uses of
+// the criterion block.
+func (s *Slicer) critVars(c Criterion) []cfg.Loc {
+	if len(c.Vars) > 0 {
+		return c.Vars
+	}
+	return s.uses[c.Block]
+}
+
+func (s *Slicer) executed(b cfg.BlockID) bool { return s.TG.Node(b) != nil }
+
+// finish sorts and packages a block set.
+func finish(set map[cfg.BlockID]bool, visited int) *Slice {
+	out := make([]cfg.BlockID, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return &Slice{Blocks: out, Visited: visited}
+}
+
+// Approach1 computes the executed-node static-PDG slice: the backward
+// closure over static data and control dependence edges, visiting only
+// executed nodes.
+func (s *Slicer) Approach1(c Criterion) (*Slice, error) {
+	if s.G.Block(c.Block) == nil {
+		return nil, fmt.Errorf("slicing: unknown block %d", c.Block)
+	}
+	if !s.executed(c.Block) {
+		return nil, fmt.Errorf("slicing: block %d never executed", c.Block)
+	}
+	slice := map[cfg.BlockID]bool{c.Block: true}
+	visited := 0
+	var work []cfg.BlockID
+
+	addDefsOf := func(b cfg.BlockID, locs []cfg.Loc) {
+		for _, u := range locs {
+			for _, d := range s.reach.DefsReaching(b, u) {
+				visited++
+				if s.executed(d) && !slice[d] {
+					slice[d] = true
+					work = append(work, d)
+				}
+			}
+		}
+	}
+	addCtrl := func(b cfg.BlockID) {
+		for _, cd := range s.ctrlDeps[b] {
+			visited++
+			if s.executed(cd) && !slice[cd] {
+				slice[cd] = true
+				work = append(work, cd)
+			}
+		}
+	}
+
+	addDefsOf(c.Block, s.critVars(c))
+	addCtrl(c.Block)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		addDefsOf(b, s.uses[b])
+		addCtrl(b)
+	}
+	return finish(slice, visited), nil
+}
+
+// exercisedEdges computes the dynamic dependence edges at node
+// granularity: data edges (def block -> use block, per location) and
+// control edges that were exercised by at least one instance.
+func (s *Slicer) exercisedEdges() (data map[cfg.BlockID][]cfg.BlockID, ctrl map[cfg.BlockID][]cfg.BlockID) {
+	dset := make(map[[2]cfg.BlockID]bool)
+	cset := make(map[[2]cfg.BlockID]bool)
+	for i, b := range s.path {
+		for _, dep := range s.dataDepAt[i] {
+			if dep.defT > 0 {
+				dset[[2]cfg.BlockID{s.path[dep.defT-1], b}] = true
+			}
+		}
+		if ct := s.ctrlDepAt[i]; ct > 0 {
+			cset[[2]cfg.BlockID{s.path[ct-1], b}] = true
+		}
+	}
+	data = make(map[cfg.BlockID][]cfg.BlockID)
+	ctrl = make(map[cfg.BlockID][]cfg.BlockID)
+	for e := range dset {
+		data[e[1]] = append(data[e[1]], e[0])
+	}
+	for e := range cset {
+		ctrl[e[1]] = append(ctrl[e[1]], e[0])
+	}
+	return data, ctrl
+}
+
+// Approach2 computes the exercised-edge slice: backward closure over
+// dependence edges that occurred during execution, without
+// distinguishing instances.
+func (s *Slicer) Approach2(c Criterion) (*Slice, error) {
+	if !s.executed(c.Block) {
+		return nil, fmt.Errorf("slicing: block %d never executed", c.Block)
+	}
+	data, ctrl := s.exercisedEdges()
+	slice := map[cfg.BlockID]bool{c.Block: true}
+	visited := 0
+	var work []cfg.BlockID
+
+	// Seed: the exercised definitions of the criterion variables at
+	// any execution of the criterion block.
+	critVars := map[cfg.Loc]bool{}
+	for _, v := range s.critVars(c) {
+		critVars[v] = true
+	}
+	for i, b := range s.path {
+		if b != c.Block {
+			continue
+		}
+		for _, dep := range s.dataDepAt[i] {
+			if critVars[dep.loc] && dep.defT > 0 {
+				db := s.path[dep.defT-1]
+				visited++
+				if !slice[db] {
+					slice[db] = true
+					work = append(work, db)
+				}
+			}
+		}
+		if ct := s.ctrlDepAt[i]; ct > 0 {
+			cb := s.path[ct-1]
+			visited++
+			if !slice[cb] {
+				slice[cb] = true
+				work = append(work, cb)
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, d := range data[b] {
+			visited++
+			if !slice[d] {
+				slice[d] = true
+				work = append(work, d)
+			}
+		}
+		for _, cd := range ctrl[b] {
+			visited++
+			if !slice[cd] {
+				slice[cd] = true
+				work = append(work, cd)
+			}
+		}
+	}
+	return finish(slice, visited), nil
+}
+
+// Approach3 computes the precise dynamic slice: the backward closure
+// over per-instance dependences starting from one execution instance
+// of the criterion block.
+func (s *Slicer) Approach3(c Criterion) (*Slice, error) {
+	node := s.TG.Node(c.Block)
+	if node == nil {
+		return nil, fmt.Errorf("slicing: block %d never executed", c.Block)
+	}
+	t := c.Time
+	if t == 0 {
+		t = node.Times.Max()
+	}
+	if !node.Times.Contains(t) {
+		return nil, fmt.Errorf("slicing: block %d did not execute at time %d", c.Block, t)
+	}
+
+	slice := map[cfg.BlockID]bool{c.Block: true}
+	seen := map[core.Timestamp]bool{}
+	visited := 0
+	var work []core.Timestamp
+
+	critVars := map[cfg.Loc]bool{}
+	for _, v := range s.critVars(c) {
+		critVars[v] = true
+	}
+	pushInstance := func(dt core.Timestamp) {
+		visited++
+		if dt > 0 && !seen[dt] {
+			seen[dt] = true
+			slice[s.path[dt-1]] = true
+			work = append(work, dt)
+		}
+	}
+	// Seed from the chosen instance of the criterion.
+	i := int(t - 1)
+	for _, dep := range s.dataDepAt[i] {
+		if critVars[dep.loc] {
+			pushInstance(dep.defT)
+		}
+	}
+	pushInstance(s.ctrlDepAt[i])
+
+	for len(work) > 0 {
+		ti := work[len(work)-1]
+		work = work[:len(work)-1]
+		i := int(ti - 1)
+		for _, dep := range s.dataDepAt[i] {
+			pushInstance(dep.defT)
+		}
+		pushInstance(s.ctrlDepAt[i])
+	}
+	return finish(slice, visited), nil
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+
+	"twpp/internal/cfg"
+	"twpp/internal/encoding"
+)
+
+// EncodeDCG serializes the dynamic call graph (structure only — the
+// traces are stored separately) as a preorder varint stream: per node,
+// the function id, the child count, and each child's position in the
+// parent trace as a delta. This is the "DCG" component whose size
+// Table 1 reports and which the compacted file stores LZW-compressed.
+func (w *RawWPP) EncodeDCG() []byte {
+	var buf []byte
+	var rec func(n *CallNode)
+	rec = func(n *CallNode) {
+		buf = encoding.PutUvarint(buf, uint64(n.Fn))
+		buf = encoding.PutUvarint(buf, uint64(len(n.Children)))
+		prev := 0
+		for i, c := range n.Children {
+			buf = encoding.PutUvarint(buf, uint64(n.ChildPos[i]-prev))
+			prev = n.ChildPos[i]
+			rec(c)
+		}
+	}
+	if w.Root != nil {
+		rec(w.Root)
+	}
+	return buf
+}
+
+// DecodeDCG parses a stream produced by EncodeDCG. Trace indices are
+// assigned in preorder, matching the builder's numbering.
+func DecodeDCG(data []byte, funcNames []string) (*RawWPP, error) {
+	c := encoding.NewCursor(data)
+	w := &RawWPP{FuncNames: funcNames}
+	nextTrace := 0
+	var rec func(depth int) (*CallNode, error)
+	rec = func(depth int) (*CallNode, error) {
+		if depth > 1<<20 {
+			return nil, fmt.Errorf("trace: DCG nesting too deep")
+		}
+		fn, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nc, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nc > uint64(c.Len()) {
+			return nil, fmt.Errorf("trace: DCG child count %d exceeds remaining input", nc)
+		}
+		n := &CallNode{Fn: cfg.FuncID(fn), Trace: nextTrace}
+		nextTrace++
+		prev := 0
+		for i := uint64(0); i < nc; i++ {
+			delta, err := c.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			pos := prev + int(delta)
+			prev = pos
+			child, err := rec(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+			n.ChildPos = append(n.ChildPos, pos)
+		}
+		return n, nil
+	}
+	root, err := rec(0)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Done() {
+		return nil, fmt.Errorf("trace: %d trailing bytes after DCG", c.Len())
+	}
+	w.Root = root
+	w.Traces = make([][]cfg.BlockID, nextTrace)
+	return w, nil
+}
+
+// RawSizes reports the byte sizes of the two components of the
+// uncompacted WPP as Table 1 of the paper accounts them: the DCG at
+// one 32-bit word per node field (function id, child count, and one
+// word per child position — the natural in-memory form) and the
+// traces at one 32-bit word per executed block.
+func (w *RawWPP) RawSizes() (dcgBytes, traceBytes int) {
+	words := 0
+	w.Walk(func(n *CallNode) { words += 2 + len(n.Children) })
+	return 4 * words, 4 * w.NumBlocks()
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"twpp/internal/cfg"
+	"twpp/internal/sequitur"
+)
+
+// buildSample constructs the paper's Figure 1-style WPP by hand:
+// main calls f twice; f's two invocations take different paths.
+func buildSample() *RawWPP {
+	b := NewBuilder([]string{"main", "f"})
+	b.EnterCall(0)
+	b.Block(1)
+	b.Block(2)
+	b.Block(3)
+	b.EnterCall(1)
+	for _, id := range []cfg.BlockID{1, 2, 7, 8, 9, 6, 10} {
+		b.Block(id)
+	}
+	b.ExitCall()
+	b.Block(4)
+	b.Block(2)
+	b.Block(3)
+	b.EnterCall(1)
+	for _, id := range []cfg.BlockID{1, 2, 3, 4, 5, 6, 10} {
+		b.Block(id)
+	}
+	b.ExitCall()
+	b.Block(4)
+	b.Block(6)
+	b.ExitCall()
+	return b.Finish()
+}
+
+func TestBuilderStructure(t *testing.T) {
+	w := buildSample()
+	if w.NumCalls() != 3 {
+		t.Fatalf("NumCalls = %d, want 3", w.NumCalls())
+	}
+	if w.Root.Fn != 0 || len(w.Root.Children) != 2 {
+		t.Fatalf("root = %+v", w.Root)
+	}
+	// Children were invoked after 3 and 6 blocks of main respectively.
+	if !reflect.DeepEqual(w.Root.ChildPos, []int{3, 6}) {
+		t.Errorf("ChildPos = %v, want [3 6]", w.Root.ChildPos)
+	}
+	if got := w.Traces[w.Root.Trace]; !reflect.DeepEqual(got, []cfg.BlockID{1, 2, 3, 4, 2, 3, 4, 6}) {
+		t.Errorf("main trace = %v", got)
+	}
+	counts := w.CallsPerFunc()
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Errorf("CallsPerFunc = %v", counts)
+	}
+	if w.NumBlocks() != 8+7+7 {
+		t.Errorf("NumBlocks = %d, want 22", w.NumBlocks())
+	}
+}
+
+func TestLinearInterleaving(t *testing.T) {
+	w := buildSample()
+	lin := w.Linear()
+	want := []uint32{
+		sequitur.EnterMarker(0), 1, 2, 3,
+		sequitur.EnterMarker(1), 1, 2, 7, 8, 9, 6, 10, sequitur.ExitMarker,
+		4, 2, 3,
+		sequitur.EnterMarker(1), 1, 2, 3, 4, 5, 6, 10, sequitur.ExitMarker,
+		4, 6, sequitur.ExitMarker,
+	}
+	if !reflect.DeepEqual(lin, want) {
+		t.Errorf("Linear =\n%v\nwant\n%v", lin, want)
+	}
+}
+
+func TestFromLinearRoundTrip(t *testing.T) {
+	w := buildSample()
+	lin := w.Linear()
+	w2, err := FromLinear(lin, w.FuncNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(w, w2) {
+		t.Error("FromLinear(Linear(w)) != w")
+	}
+}
+
+func TestFromLinearErrors(t *testing.T) {
+	cases := [][]uint32{
+		{sequitur.ExitMarker},
+		{5},
+		{sequitur.EnterMarker(0), 1},
+		{sequitur.EnterMarker(0), sequitur.ExitMarker, 7},
+	}
+	for i, stream := range cases {
+		if _, err := FromLinear(stream, nil); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestCallAtTraceBoundaries(t *testing.T) {
+	// A call before any block and a call after the last block must
+	// round-trip through Linear/FromLinear.
+	b := NewBuilder([]string{"main", "g"})
+	b.EnterCall(0)
+	b.EnterCall(1) // call before any block of main
+	b.Block(1)
+	b.ExitCall()
+	b.Block(1)
+	b.EnterCall(1) // call after main's last block
+	b.Block(1)
+	b.ExitCall()
+	b.ExitCall()
+	w := b.Finish()
+	w2, err := FromLinear(w.Linear(), w.FuncNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(w, w2) {
+		t.Error("boundary-call WPP did not round trip")
+	}
+	if !reflect.DeepEqual(w.Root.ChildPos, []int{0, 1}) {
+		t.Errorf("ChildPos = %v, want [0 1]", w.Root.ChildPos)
+	}
+}
+
+func TestDCGEncodeDecode(t *testing.T) {
+	w := buildSample()
+	data := w.EncodeDCG()
+	w2, err := DecodeDCG(data, w.FuncNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure must match (traces are stored separately).
+	var shape func(n *CallNode) []int
+	shape = func(n *CallNode) []int {
+		out := []int{int(n.Fn), n.Trace, len(n.Children)}
+		out = append(out, n.ChildPos...)
+		for _, c := range n.Children {
+			out = append(out, shape(c)...)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(shape(w.Root), shape(w2.Root)) {
+		t.Errorf("DCG round trip mismatch:\n%v\n%v", shape(w.Root), shape(w2.Root))
+	}
+	if len(w2.Traces) != w.NumCalls() {
+		t.Errorf("decoded trace count = %d, want %d", len(w2.Traces), w.NumCalls())
+	}
+}
+
+func TestDCGDecodeErrors(t *testing.T) {
+	w := buildSample()
+	data := w.EncodeDCG()
+	if _, err := DecodeDCG(data[:len(data)-1], nil); err == nil {
+		t.Error("truncated DCG: want error")
+	}
+	if _, err := DecodeDCG(append(bytes.Clone(data), 0, 0), nil); err == nil {
+		t.Error("trailing garbage: want error")
+	}
+	// A huge child count must not allocate unboundedly.
+	if _, err := DecodeDCG([]byte{0, 0xff, 0xff, 0xff, 0x7f}, nil); err == nil {
+		t.Error("absurd child count: want error")
+	}
+}
+
+func TestRawSizes(t *testing.T) {
+	w := buildSample()
+	dcg, traces := w.RawSizes()
+	if traces != 4*22 {
+		t.Errorf("trace bytes = %d, want 88", traces)
+	}
+	// One word per node field: root (fn, count, 2 positions) plus two
+	// leaves (fn, count) = 8 words.
+	if dcg != 4*8 {
+		t.Errorf("dcg bytes = %d, want 32", dcg)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("block outside call", func() { NewBuilder(nil).Block(1) })
+	expectPanic("exit outside call", func() { NewBuilder(nil).ExitCall() })
+	expectPanic("finish with open calls", func() {
+		b := NewBuilder(nil)
+		b.EnterCall(0)
+		b.Finish()
+	})
+	expectPanic("finish without root", func() { NewBuilder(nil).Finish() })
+	expectPanic("two roots", func() {
+		b := NewBuilder(nil)
+		b.EnterCall(0)
+		b.ExitCall()
+		b.EnterCall(1)
+	})
+}
+
+func TestFuncName(t *testing.T) {
+	w := buildSample()
+	if w.FuncName(1) != "f" {
+		t.Errorf("FuncName(1) = %q", w.FuncName(1))
+	}
+	if w.FuncName(99) != "func99" {
+		t.Errorf("FuncName(99) = %q", w.FuncName(99))
+	}
+}

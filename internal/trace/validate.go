@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"fmt"
+
+	"twpp/internal/cfg"
+)
+
+// Validate checks a raw WPP against the program's control flow graphs:
+// every path trace must start at its function's entry block, end at
+// its exit block, and step only along CFG edges; every referenced
+// function must exist. This is the integrity check a consumer should
+// run on traces produced elsewhere before feeding them to the
+// compactor or the analyses.
+func Validate(w *RawWPP, prog *cfg.Program) error {
+	if w.Root == nil {
+		return fmt.Errorf("trace: WPP has no root call")
+	}
+	var check func(n *CallNode) error
+	check = func(n *CallNode) error {
+		g := prog.Graph(n.Fn)
+		if g == nil {
+			return fmt.Errorf("trace: call to unknown function id %d", n.Fn)
+		}
+		if n.Trace < 0 || n.Trace >= len(w.Traces) {
+			return fmt.Errorf("trace: %s: trace index %d out of range", w.FuncName(n.Fn), n.Trace)
+		}
+		tr := w.Traces[n.Trace]
+		if len(tr) == 0 {
+			return fmt.Errorf("trace: %s: empty path trace", w.FuncName(n.Fn))
+		}
+		if tr[0] != g.Entry.ID {
+			return fmt.Errorf("trace: %s: trace starts at B%d, entry is B%d", w.FuncName(n.Fn), tr[0], g.Entry.ID)
+		}
+		if tr[len(tr)-1] != g.Exit.ID {
+			return fmt.Errorf("trace: %s: trace ends at B%d, exit is B%d", w.FuncName(n.Fn), tr[len(tr)-1], g.Exit.ID)
+		}
+		for i := 0; i+1 < len(tr); i++ {
+			from := g.Block(tr[i])
+			if from == nil {
+				return fmt.Errorf("trace: %s: unknown block B%d", w.FuncName(n.Fn), tr[i])
+			}
+			ok := false
+			for _, s := range from.Succs {
+				if s.ID == tr[i+1] {
+					ok = true
+					break
+				}
+			}
+			// The return transfer to the exit block is not a regular
+			// CFG edge from arbitrary blocks; it is taken via a Ret
+			// terminator.
+			if !ok {
+				if _, isRet := from.Term.(*cfg.Ret); isRet && tr[i+1] == g.Exit.ID {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("trace: %s: B%d -> B%d is not a CFG edge", w.FuncName(n.Fn), tr[i], tr[i+1])
+			}
+		}
+		// Child call positions must be within the trace.
+		prev := 0
+		for i, c := range n.Children {
+			pos := n.ChildPos[i]
+			if pos < prev || pos > len(tr) {
+				return fmt.Errorf("trace: %s: child %d at position %d (trace length %d, previous %d)",
+					w.FuncName(n.Fn), i, pos, len(tr), prev)
+			}
+			prev = pos
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(w.Root)
+}

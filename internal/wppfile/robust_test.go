@@ -1,0 +1,151 @@
+package wppfile
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twpp/internal/core"
+	"twpp/internal/wpp"
+)
+
+// TestCompactedTruncationRobustness verifies that no prefix of a valid
+// compacted file can panic the reader: every truncation must either
+// fail to open, fail to read, or decode cleanly (a prefix that happens
+// to end exactly at a section boundary can be partially readable).
+func TestCompactedTruncationRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	_, tw := buildTWPP(t, rng, 30)
+	full, err := EncodeCompacted(tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for n := 0; n < len(full); n += 1 + n/16 {
+		p := filepath.Join(dir, "trunc")
+		if err := os.WriteFile(p, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at truncation %d: %v", n, r)
+				}
+			}()
+			cf, err := OpenCompacted(p)
+			if err != nil {
+				return
+			}
+			defer cf.Close()
+			for _, fn := range cf.Functions() {
+				_, _ = cf.ExtractFunction(fn)
+			}
+			_, _ = cf.ReadDCG()
+		}()
+	}
+}
+
+// TestCompactedBitflipRobustness flips bytes throughout a valid file
+// and requires error-or-success without panics.
+func TestCompactedBitflipRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	_, tw := buildTWPP(t, rng, 20)
+	full, err := EncodeCompacted(tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), full...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		p := filepath.Join(dir, "mut")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated file (trial %d): %v", trial, r)
+				}
+			}()
+			cf, err := OpenCompacted(p)
+			if err != nil {
+				return
+			}
+			defer cf.Close()
+			for _, fn := range cf.Functions() {
+				if ft, err := cf.ExtractFunction(fn); err == nil {
+					// Decoded data may be wrong but must be safe to
+					// walk.
+					for i := range ft.Traces {
+						_, _ = ft.Traces[i].ToPath()
+					}
+				}
+			}
+			_, _ = cf.ReadDCG()
+		}()
+	}
+}
+
+// TestRawTruncationRobustness does the same for the uncompacted
+// format.
+func TestRawTruncationRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	w := sampleWPP(rng, 20)
+	dir := t.TempDir()
+	p := filepath.Join(dir, "full")
+	if err := WriteRaw(p, w); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(full); n += 1 + n/16 {
+		tp := filepath.Join(dir, "trunc")
+		if err := os.WriteFile(tp, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadRaw(tp); err == nil && n < len(full)-1 {
+			// A shorter stream can still be well-formed only if it
+			// ends exactly at a call boundary, which the builder's
+			// stream shape makes impossible except at full length.
+			t.Errorf("truncation to %d bytes read without error", n)
+		}
+		_, _ = ScanRawForFunction(tp, 0)
+	}
+}
+
+// TestEncodeCompactedEmptyTWPP covers the degenerate single-call WPP.
+func TestEncodeCompactedDegenerate(t *testing.T) {
+	tw := &core.TWPP{
+		FuncNames: []string{"main"},
+		Root:      &wpp.CallNode{Fn: 0, TraceIdx: 0},
+		Funcs: []core.FunctionTWPP{{
+			Fn:        0,
+			Traces:    []*core.Trace{core.FromPath(wpp.PathTrace{1})},
+			Dicts:     []wpp.Dictionary{{}},
+			DictOf:    []int{0},
+			CallCount: 1,
+		}},
+	}
+	p := filepath.Join(t.TempDir(), "tiny.twpp")
+	if err := WriteCompacted(p, tw); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenCompacted(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	tw2, err := cf.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tw2.Funcs) != 1 || tw2.Funcs[0].CallCount != 1 {
+		t.Errorf("degenerate round trip: %+v", tw2.Funcs)
+	}
+}

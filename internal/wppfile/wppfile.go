@@ -1,0 +1,667 @@
+// Package wppfile defines the two on-disk WPP formats compared in
+// Zhang & Gupta (PLDI 2001, Table 4):
+//
+//   - the uncompacted WPP file: the linear control flow trace as a
+//     varint symbol stream, from which extracting one function's path
+//     traces requires scanning the entire file (column U);
+//
+//   - the compacted TWPP file: a header with a per-function index
+//     (hottest function first), the LZW-compressed dynamic call graph,
+//     and per-function blocks holding the unique TWPP traces and DBB
+//     dictionaries — so extracting one function's traces is a single
+//     index lookup plus one seek (column C).
+package wppfile
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/encoding"
+	"twpp/internal/lzw"
+	"twpp/internal/sequitur"
+	"twpp/internal/trace"
+	"twpp/internal/wpp"
+)
+
+// File format magics and the current version.
+const (
+	MagicRaw       = 0x57505055 // "WPPU"
+	MagicCompacted = 0x54575046 // "TWPF"
+	Version        = 1
+)
+
+// ---------------------------------------------------------------------
+// Uncompacted format.
+// ---------------------------------------------------------------------
+
+// WriteRaw serializes a raw WPP as the uncompacted linear format.
+func WriteRaw(path string, w *trace.RawWPP) error {
+	buf := encoding.PutUint32(nil, MagicRaw)
+	buf = encoding.PutUvarint(buf, Version)
+	buf = encoding.PutUvarint(buf, uint64(len(w.FuncNames)))
+	for _, n := range w.FuncNames {
+		buf = encoding.PutString(buf, n)
+	}
+	for _, sym := range w.Linear() {
+		buf = encoding.PutUvarint(buf, uint64(sym))
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ReadRaw parses an uncompacted WPP file in full.
+func ReadRaw(path string) (*trace.RawWPP, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c := encoding.NewCursor(data)
+	names, err := readRawHeader(c)
+	if err != nil {
+		return nil, err
+	}
+	var stream []uint32
+	for !c.Done() {
+		sym, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		stream = append(stream, uint32(sym))
+	}
+	return trace.FromLinear(stream, names)
+}
+
+func readRawHeader(c *encoding.Cursor) ([]string, error) {
+	magic, err := c.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != MagicRaw {
+		return nil, fmt.Errorf("wppfile: bad raw magic %#x", magic)
+	}
+	ver, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("wppfile: unsupported raw version %d", ver)
+	}
+	nf, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nf > uint64(c.Len()) {
+		return nil, fmt.Errorf("wppfile: function count %d exceeds file size", nf)
+	}
+	names := make([]string, nf)
+	for i := range names {
+		if names[i], err = c.String(); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// ScanRawForFunction extracts every path trace of function fn from an
+// uncompacted WPP file. As in the paper, this must scan the whole
+// file — it is the slow baseline of Table 4.
+func ScanRawForFunction(path string, fn cfg.FuncID) ([]wpp.PathTrace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c := encoding.NewCursor(data)
+	if _, err := readRawHeader(c); err != nil {
+		return nil, err
+	}
+	type open struct {
+		target bool
+		tr     wpp.PathTrace
+	}
+	var stack []open
+	var out []wpp.PathTrace
+	for !c.Done() {
+		symU, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		sym := uint32(symU)
+		switch {
+		case sym == sequitur.ExitMarker:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("wppfile: EXIT with empty stack")
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if top.target {
+				out = append(out, top.tr)
+			}
+		default:
+			if f, ok := sequitur.IsEnter(sym); ok {
+				stack = append(stack, open{target: cfg.FuncID(f) == fn})
+			} else {
+				if len(stack) == 0 {
+					return nil, fmt.Errorf("wppfile: block outside any call")
+				}
+				top := &stack[len(stack)-1]
+				if top.target {
+					top.tr = append(top.tr, cfg.BlockID(sym))
+				}
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("wppfile: %d unclosed calls", len(stack))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Compacted TWPP format.
+// ---------------------------------------------------------------------
+
+// indexEntry describes one function's block in the file.
+type indexEntry struct {
+	Fn        cfg.FuncID
+	CallCount int
+	Offset    int // relative to the start of the blocks section
+	Length    int
+}
+
+// WriteCompacted serializes a TWPP in the compacted indexed format.
+func WriteCompacted(path string, t *core.TWPP) error {
+	data, err := EncodeCompacted(t)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// EncodeCompacted produces the compacted file image in memory.
+func EncodeCompacted(t *core.TWPP) ([]byte, error) {
+	// Per-function blocks, hottest function first (the paper stores
+	// the most frequently called function's traces first).
+	order := make([]cfg.FuncID, 0, len(t.Funcs))
+	for f := range t.Funcs {
+		if t.Funcs[f].CallCount > 0 {
+			order = append(order, cfg.FuncID(f))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := &t.Funcs[order[i]], &t.Funcs[order[j]]
+		if a.CallCount != b.CallCount {
+			return a.CallCount > b.CallCount
+		}
+		return order[i] < order[j]
+	})
+
+	var blocks []byte
+	index := make([]indexEntry, 0, len(order))
+	for _, f := range order {
+		start := len(blocks)
+		blocks = encodeFunctionBlock(blocks, &t.Funcs[f])
+		index = append(index, indexEntry{
+			Fn:        f,
+			CallCount: t.Funcs[f].CallCount,
+			Offset:    start,
+			Length:    len(blocks) - start,
+		})
+	}
+
+	dcg := lzw.Compress(encodeDCG(t.Root))
+
+	// Assemble: header, names, index, DCG, blocks.
+	buf := encoding.PutUint32(nil, MagicCompacted)
+	buf = encoding.PutUvarint(buf, Version)
+	buf = encoding.PutUvarint(buf, uint64(len(t.FuncNames)))
+	for _, n := range t.FuncNames {
+		buf = encoding.PutString(buf, n)
+	}
+	buf = encoding.PutUvarint(buf, uint64(len(index)))
+	for _, e := range index {
+		buf = encoding.PutUvarint(buf, uint64(e.Fn))
+		buf = encoding.PutUvarint(buf, uint64(e.CallCount))
+		buf = encoding.PutUvarint(buf, uint64(e.Offset))
+		buf = encoding.PutUvarint(buf, uint64(e.Length))
+	}
+	buf = encoding.PutUvarint(buf, uint64(len(dcg)))
+	buf = append(buf, dcg...)
+	buf = append(buf, blocks...)
+	return buf, nil
+}
+
+// encodeFunctionBlock appends one function's dictionaries and TWPP
+// traces.
+func encodeFunctionBlock(buf []byte, ft *core.FunctionTWPP) []byte {
+	buf = encoding.PutUvarint(buf, uint64(ft.CallCount))
+	buf = encoding.PutUvarint(buf, uint64(len(ft.Dicts)))
+	for _, d := range ft.Dicts {
+		heads := make([]cfg.BlockID, 0, len(d))
+		for h := range d {
+			heads = append(heads, h)
+		}
+		sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+		buf = encoding.PutUvarint(buf, uint64(len(heads)))
+		for _, h := range heads {
+			chain := d[h]
+			buf = encoding.PutUvarint(buf, uint64(h))
+			buf = encoding.PutUvarint(buf, uint64(len(chain)))
+			for _, id := range chain {
+				buf = encoding.PutUvarint(buf, uint64(id))
+			}
+		}
+	}
+	buf = encoding.PutUvarint(buf, uint64(len(ft.Traces)))
+	for i, tr := range ft.Traces {
+		buf = encoding.PutUvarint(buf, uint64(ft.DictOf[i]))
+		buf = encoding.PutUvarint(buf, uint64(tr.Len))
+		buf = encoding.PutUvarint(buf, uint64(len(tr.Blocks)))
+		for _, bt := range tr.Blocks {
+			buf = encoding.PutUvarint(buf, uint64(bt.Block))
+			signed := bt.Times.EncodeSigned(nil)
+			buf = encoding.PutUvarint(buf, uint64(len(signed)))
+			for _, v := range signed {
+				buf = encoding.PutVarint(buf, v)
+			}
+		}
+	}
+	return buf
+}
+
+func decodeFunctionBlock(data []byte, fn cfg.FuncID) (*core.FunctionTWPP, error) {
+	c := encoding.NewCursor(data)
+	ft := &core.FunctionTWPP{Fn: fn}
+	cc, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ft.CallCount = int(cc)
+	nd, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nd > uint64(c.Len()) {
+		return nil, fmt.Errorf("wppfile: dictionary count %d too large", nd)
+	}
+	ft.Dicts = make([]wpp.Dictionary, nd)
+	for i := range ft.Dicts {
+		nh, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nh > uint64(c.Len()) {
+			return nil, fmt.Errorf("wppfile: chain count %d too large", nh)
+		}
+		d := make(wpp.Dictionary, nh)
+		for j := uint64(0); j < nh; j++ {
+			h, err := c.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			cl, err := c.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if cl > uint64(c.Len()) {
+				return nil, fmt.Errorf("wppfile: chain length %d too large", cl)
+			}
+			chain := make(wpp.PathTrace, cl)
+			for k := range chain {
+				v, err := c.Uvarint()
+				if err != nil {
+					return nil, err
+				}
+				chain[k] = cfg.BlockID(v)
+			}
+			d[cfg.BlockID(h)] = chain
+		}
+		ft.Dicts[i] = d
+	}
+	nt, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nt > uint64(c.Len()) {
+		return nil, fmt.Errorf("wppfile: trace count %d too large", nt)
+	}
+	ft.Traces = make([]*core.Trace, nt)
+	ft.DictOf = make([]int, nt)
+	for i := range ft.Traces {
+		di, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if di >= nd {
+			return nil, fmt.Errorf("wppfile: dictionary index %d out of range (%d dictionaries)", di, nd)
+		}
+		ft.DictOf[i] = int(di)
+		length, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nb, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nb > uint64(c.Len()) {
+			return nil, fmt.Errorf("wppfile: block count %d too large", nb)
+		}
+		tr := &core.Trace{Len: int(length), Blocks: make([]core.BlockTimes, nb)}
+		for j := range tr.Blocks {
+			bid, err := c.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			nv, err := c.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if nv > uint64(c.Len()) {
+				return nil, fmt.Errorf("wppfile: value count %d too large", nv)
+			}
+			vals := make([]int64, nv)
+			for k := range vals {
+				if vals[k], err = c.Varint(); err != nil {
+					return nil, err
+				}
+			}
+			seq, err := core.DecodeSigned(vals)
+			if err != nil {
+				return nil, err
+			}
+			tr.Blocks[j] = core.BlockTimes{Block: cfg.BlockID(bid), Times: seq}
+		}
+		ft.Traces[i] = tr
+	}
+	if !c.Done() {
+		return nil, fmt.Errorf("wppfile: %d trailing bytes in function block", c.Len())
+	}
+	return ft, nil
+}
+
+// encodeDCG serializes the compacted DCG (function, unique trace
+// index, children with positions) in preorder.
+func encodeDCG(root *wpp.CallNode) []byte {
+	var buf []byte
+	var rec func(n *wpp.CallNode)
+	rec = func(n *wpp.CallNode) {
+		buf = encoding.PutUvarint(buf, uint64(n.Fn))
+		buf = encoding.PutUvarint(buf, uint64(n.TraceIdx))
+		buf = encoding.PutUvarint(buf, uint64(len(n.Children)))
+		prev := 0
+		for i, c := range n.Children {
+			buf = encoding.PutUvarint(buf, uint64(n.ChildPos[i]-prev))
+			prev = n.ChildPos[i]
+			rec(c)
+		}
+	}
+	if root != nil {
+		rec(root)
+	}
+	return buf
+}
+
+func decodeDCG(data []byte) (*wpp.CallNode, error) {
+	c := encoding.NewCursor(data)
+	var rec func(depth int) (*wpp.CallNode, error)
+	rec = func(depth int) (*wpp.CallNode, error) {
+		if depth > 1<<20 {
+			return nil, fmt.Errorf("wppfile: DCG nesting too deep")
+		}
+		fn, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ti, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nc, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nc > uint64(c.Len()) {
+			return nil, fmt.Errorf("wppfile: DCG child count %d too large", nc)
+		}
+		n := &wpp.CallNode{Fn: cfg.FuncID(fn), TraceIdx: int(ti)}
+		prev := 0
+		for i := uint64(0); i < nc; i++ {
+			delta, err := c.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			pos := prev + int(delta)
+			prev = pos
+			child, err := rec(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+			n.ChildPos = append(n.ChildPos, pos)
+		}
+		return n, nil
+	}
+	root, err := rec(0)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Done() {
+		return nil, fmt.Errorf("wppfile: %d trailing bytes after DCG", c.Len())
+	}
+	return root, nil
+}
+
+// CompactedFile provides indexed access to a compacted TWPP file.
+// Open reads only the header and index; per-function extraction seeks
+// directly to the function's block.
+type CompactedFile struct {
+	f         *os.File
+	FuncNames []string
+	index     map[cfg.FuncID]indexEntry
+	// order preserves the on-disk (hotness) order of the index.
+	order []cfg.FuncID
+	// dcgOffset/dcgLen locate the compressed DCG; blocksOffset is the
+	// base of the blocks section.
+	dcgOffset    int64
+	dcgLen       int
+	blocksOffset int64
+}
+
+// OpenCompacted opens a compacted TWPP file, reading header and index
+// only.
+func OpenCompacted(path string) (*CompactedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// Read a generous prefix for the header; extend if the index is
+	// larger.
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	headLen := int64(1 << 16)
+	if headLen > st.Size() {
+		headLen = st.Size()
+	}
+	head := make([]byte, headLen)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+
+	cf := &CompactedFile{f: f, index: make(map[cfg.FuncID]indexEntry)}
+	parse := func(head []byte) error {
+		c := encoding.NewCursor(head)
+		magic, err := c.Uint32()
+		if err != nil {
+			return err
+		}
+		if magic != MagicCompacted {
+			return fmt.Errorf("wppfile: bad compacted magic %#x", magic)
+		}
+		ver, err := c.Uvarint()
+		if err != nil {
+			return err
+		}
+		if ver != Version {
+			return fmt.Errorf("wppfile: unsupported version %d", ver)
+		}
+		nf, err := c.Uvarint()
+		if err != nil {
+			return err
+		}
+		if nf > uint64(st.Size()) {
+			return fmt.Errorf("wppfile: function count %d too large", nf)
+		}
+		cf.FuncNames = make([]string, nf)
+		for i := range cf.FuncNames {
+			if cf.FuncNames[i], err = c.String(); err != nil {
+				return err
+			}
+		}
+		ni, err := c.Uvarint()
+		if err != nil {
+			return err
+		}
+		if ni > uint64(st.Size()) {
+			return fmt.Errorf("wppfile: index count %d too large", ni)
+		}
+		cf.order = cf.order[:0]
+		for i := uint64(0); i < ni; i++ {
+			var e indexEntry
+			v, err := c.Uvarint()
+			if err != nil {
+				return err
+			}
+			e.Fn = cfg.FuncID(v)
+			if v, err = c.Uvarint(); err != nil {
+				return err
+			}
+			e.CallCount = int(v)
+			if v, err = c.Uvarint(); err != nil {
+				return err
+			}
+			e.Offset = int(v)
+			if v, err = c.Uvarint(); err != nil {
+				return err
+			}
+			e.Length = int(v)
+			cf.index[e.Fn] = e
+			cf.order = append(cf.order, e.Fn)
+		}
+		dl, err := c.Uvarint()
+		if err != nil {
+			return err
+		}
+		cf.dcgLen = int(dl)
+		cf.dcgOffset = int64(c.Pos())
+		cf.blocksOffset = cf.dcgOffset + int64(dl)
+		return nil
+	}
+	if err := parse(head); err != nil {
+		// Retry with the whole file if the header prefix was too
+		// small; otherwise fail.
+		if int64(len(head)) < st.Size() {
+			full := make([]byte, st.Size())
+			if _, err2 := f.ReadAt(full, 0); err2 != nil {
+				f.Close()
+				return nil, err2
+			}
+			if err2 := parse(full); err2 != nil {
+				f.Close()
+				return nil, err2
+			}
+		} else {
+			f.Close()
+			return nil, err
+		}
+	}
+	return cf, nil
+}
+
+// Close releases the underlying file.
+func (cf *CompactedFile) Close() error { return cf.f.Close() }
+
+// Functions returns the function ids present, hottest first.
+func (cf *CompactedFile) Functions() []cfg.FuncID {
+	out := make([]cfg.FuncID, len(cf.order))
+	copy(out, cf.order)
+	return out
+}
+
+// CallCount reports the recorded invocation count of fn (0 if absent).
+func (cf *CompactedFile) CallCount(fn cfg.FuncID) int {
+	return cf.index[fn].CallCount
+}
+
+// ExtractFunction reads exactly one function's block: one seek, one
+// read, one decode. This is the fast path of Table 4.
+func (cf *CompactedFile) ExtractFunction(fn cfg.FuncID) (*core.FunctionTWPP, error) {
+	e, ok := cf.index[fn]
+	if !ok {
+		return nil, fmt.Errorf("wppfile: function %d not present in WPP", fn)
+	}
+	buf := make([]byte, e.Length)
+	if _, err := cf.f.ReadAt(buf, cf.blocksOffset+int64(e.Offset)); err != nil {
+		return nil, err
+	}
+	return decodeFunctionBlock(buf, fn)
+}
+
+// ReadDCG decompresses and decodes the dynamic call graph.
+func (cf *CompactedFile) ReadDCG() (*wpp.CallNode, error) {
+	buf := make([]byte, cf.dcgLen)
+	if _, err := cf.f.ReadAt(buf, cf.dcgOffset); err != nil {
+		return nil, err
+	}
+	raw, err := lzw.Decompress(buf)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDCG(raw)
+}
+
+// ReadAll reconstructs the complete TWPP from the file.
+func (cf *CompactedFile) ReadAll() (*core.TWPP, error) {
+	root, err := cf.ReadDCG()
+	if err != nil {
+		return nil, err
+	}
+	maxFn := len(cf.FuncNames)
+	for _, fn := range cf.order {
+		if int(fn) >= maxFn {
+			maxFn = int(fn) + 1
+		}
+	}
+	t := &core.TWPP{
+		FuncNames: cf.FuncNames,
+		Root:      root,
+		Funcs:     make([]core.FunctionTWPP, maxFn),
+	}
+	for f := range t.Funcs {
+		t.Funcs[f].Fn = cfg.FuncID(f)
+	}
+	for _, fn := range cf.order {
+		ft, err := cf.ExtractFunction(fn)
+		if err != nil {
+			return nil, err
+		}
+		t.Funcs[fn] = *ft
+	}
+	return t, nil
+}
+
+// SectionSizes reports the on-disk sizes of the compacted file's
+// components (header+index, compressed DCG, function blocks) for the
+// Table 3 breakdown.
+func (cf *CompactedFile) SectionSizes() (header, dcg, blocks int64, err error) {
+	st, err := cf.f.Stat()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return cf.dcgOffset, int64(cf.dcgLen), st.Size() - cf.blocksOffset, nil
+}

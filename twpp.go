@@ -1,0 +1,231 @@
+// Package twpp is the public API of the timestamped whole program path
+// (TWPP) library, a reproduction of Zhang & Gupta, "Timestamped Whole
+// Program Path Representation and its Applications" (PLDI 2001).
+//
+// The library covers the full system the paper describes:
+//
+//   - a tracing substrate: the minilang language, compiled to control
+//     flow graphs and executed by an instrumented interpreter that
+//     produces whole program paths (WPPs);
+//   - the WPP compaction pipeline: partitioning into per-function path
+//     traces with a dynamic call graph, redundant trace elimination,
+//     dynamic-basic-block dictionaries, and the timestamped (TWPP)
+//     representation with arithmetic-series timestamp compression;
+//   - an indexed on-disk format answering per-function trace queries
+//     with a single seek, plus the uncompacted baseline format;
+//   - the Sequitur-based Larus representation as a baseline;
+//   - profile-limited data flow analysis: demand-driven GEN-KILL query
+//     propagation over timestamp-annotated dynamic CFGs, with three
+//     applications — load redundancy detection, the Agrawal-Horgan
+//     dynamic slicing algorithms, and dynamic currency determination.
+//
+// # Quick start
+//
+//	prog, _ := twpp.Compile(src)
+//	run, _ := prog.Trace(nil)
+//	t, stats := twpp.Compact(run.WPP)
+//	_ = twpp.WriteFile("trace.twpp", t)
+//	f, _ := twpp.OpenFile("trace.twpp")
+//	hot, _ := f.ExtractFunction(f.Functions()[0])
+//
+// See the examples/ directory for complete programs.
+package twpp
+
+import (
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/dataflow"
+	"twpp/internal/interp"
+	"twpp/internal/minilang"
+	"twpp/internal/sequitur"
+	"twpp/internal/trace"
+	"twpp/internal/wpp"
+	"twpp/internal/wppfile"
+)
+
+// Re-exported identifier types.
+type (
+	// BlockID identifies a basic block within a function (1-based).
+	BlockID = cfg.BlockID
+	// FuncID identifies a function within a program.
+	FuncID = cfg.FuncID
+	// Timestamp is a 1-based position within a path trace.
+	Timestamp = core.Timestamp
+	// Loc is an abstract storage location (scalar variable or array
+	// region) used by the dataflow applications.
+	Loc = cfg.Loc
+)
+
+// Re-exported core representation types.
+type (
+	// RawWPP is an uncompacted whole program path.
+	RawWPP = trace.RawWPP
+	// PathTrace is a sequence of block ids.
+	PathTrace = wpp.PathTrace
+	// CompactStats reports per-stage compaction sizes (Table 2 data).
+	CompactStats = wpp.Stats
+	// TWPP is the compacted, timestamped whole program path.
+	TWPP = core.TWPP
+	// FunctionTWPP is one function's unique traces and dictionaries.
+	FunctionTWPP = core.FunctionTWPP
+	// Seq is a compacted timestamp set (arithmetic series list).
+	Seq = core.Seq
+	// TGraph is a timestamp-annotated dynamic control flow graph.
+	TGraph = dataflow.TGraph
+	// File is an opened compacted TWPP file with a per-function index.
+	File = wppfile.CompactedFile
+)
+
+// CFGMode selects basic-block granularity for compilation.
+type CFGMode = cfg.Mode
+
+// CFG granularity options.
+const (
+	// MaxBlocks groups maximal straight-line statement runs (default;
+	// used for trace collection and compaction experiments).
+	MaxBlocks = cfg.MaxBlocks
+	// PerStatement gives each statement its own block (used by the
+	// dataflow, slicing and currency applications, matching the
+	// paper's statement-numbered examples).
+	PerStatement = cfg.PerStatement
+)
+
+// Program is a compiled minilang program ready for traced execution.
+type Program struct {
+	// CFG holds the per-function control flow graphs.
+	CFG *cfg.Program
+	// Names lists function names by FuncID.
+	Names []string
+}
+
+// Compile parses minilang source and builds CFGs with MaxBlocks
+// granularity. Use CompileMode for per-statement graphs.
+func Compile(src string) (*Program, error) {
+	return CompileMode(src, MaxBlocks)
+}
+
+// CompileMode parses minilang source and builds CFGs with the given
+// granularity.
+func CompileMode(src string, mode CFGMode) (*Program, error) {
+	parsed, err := minilang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	built, err := cfg.Build(parsed, mode)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(parsed.Funcs))
+	for i, fn := range parsed.Funcs {
+		names[i] = fn.Name
+	}
+	return &Program{CFG: built, Names: names}, nil
+}
+
+// FuncByName resolves a function name to its id.
+func (p *Program) FuncByName(name string) (FuncID, bool) {
+	id, _, ok := p.CFG.FuncByName(name)
+	return id, ok
+}
+
+// Run is the outcome of a traced execution.
+type Run struct {
+	// WPP is the collected whole program path.
+	WPP *RawWPP
+	// Output collects print() values.
+	Output []int64
+	// Steps counts executed blocks.
+	Steps int
+}
+
+// Trace executes the program's main function with the given input
+// vector (consumed by `read` statements) and collects its WPP.
+func (p *Program) Trace(input []int64) (*Run, error) {
+	return p.TraceLimits(input, interp.Limits{})
+}
+
+// TraceLimits is Trace with explicit execution limits.
+func (p *Program) TraceLimits(input []int64, limits interp.Limits) (*Run, error) {
+	b := trace.NewBuilder(p.Names)
+	res, err := interp.Run(p.CFG, b, input, limits)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{WPP: b.Finish(), Output: res.Output, Steps: res.Steps}, nil
+}
+
+// Limits bounds a traced execution; zero values select defaults.
+type Limits = interp.Limits
+
+// Validate checks a WPP against the program's control flow graphs:
+// traces must start at entries, end at exits, and follow CFG edges.
+// Run it on traces ingested from elsewhere before compacting or
+// analyzing them.
+func (p *Program) Validate(w *RawWPP) error {
+	return trace.Validate(w, p.CFG)
+}
+
+// Compact runs the full compaction pipeline on a raw WPP: partition,
+// redundant-trace elimination, DBB dictionaries, and the timestamp
+// transformation. The returned stats carry the per-stage sizes.
+func Compact(w *RawWPP) (*TWPP, CompactStats) {
+	c, stats := wpp.Compact(w)
+	return core.FromCompacted(c), stats
+}
+
+// Reconstruct inverts Compact, recovering a WPP Linear-equal to the
+// original.
+func Reconstruct(t *TWPP) (*RawWPP, error) {
+	c, err := t.ToCompacted()
+	if err != nil {
+		return nil, err
+	}
+	return c.Reconstruct(), nil
+}
+
+// WriteFile serializes a TWPP in the compacted indexed file format.
+func WriteFile(path string, t *TWPP) error {
+	return wppfile.WriteCompacted(path, t)
+}
+
+// OpenFile opens a compacted TWPP file, reading only its header and
+// function index; per-function extraction is a single seek.
+func OpenFile(path string) (*File, error) {
+	return wppfile.OpenCompacted(path)
+}
+
+// WriteRawFile serializes a WPP in the uncompacted linear format (the
+// slow-extraction baseline of the paper's Table 4).
+func WriteRawFile(path string, w *RawWPP) error {
+	return wppfile.WriteRaw(path, w)
+}
+
+// ReadRawFile parses an uncompacted WPP file.
+func ReadRawFile(path string) (*RawWPP, error) {
+	return wppfile.ReadRaw(path)
+}
+
+// ScanRawFile extracts one function's path traces from an uncompacted
+// file by scanning all of it.
+func ScanRawFile(path string, fn FuncID) ([]PathTrace, error) {
+	return wppfile.ScanRawForFunction(path, fn)
+}
+
+// CompressSequitur compresses a WPP's linear symbol stream with
+// Sequitur, the Larus (PLDI 1999) baseline representation.
+func CompressSequitur(w *RawWPP) *sequitur.CompressedWPP {
+	return sequitur.CompressWPP(w.Linear())
+}
+
+// DynamicCFG expands one unique trace of a function through its DBB
+// dictionary and builds the timestamp-annotated dynamic control flow
+// graph used by the profile-limited analyses.
+func DynamicCFG(ft *FunctionTWPP, traceIdx int) (*TGraph, error) {
+	return dataflow.Build(ft, traceIdx)
+}
+
+// DynamicCFGFromPath builds a timestamp-annotated dynamic CFG directly
+// from an expanded path trace.
+func DynamicCFGFromPath(path PathTrace) *TGraph {
+	return dataflow.BuildFromPath(path)
+}

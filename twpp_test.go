@@ -1,0 +1,209 @@
+package twpp_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"twpp"
+	"twpp/internal/trace"
+)
+
+const quickSrc = `
+func main() {
+    var total = 0;
+    for (var i = 0; i < 20; i = i + 1) {
+        total = total + work(i % 3, 5);
+    }
+    print(total);
+}
+func work(sel, n) {
+    var acc = sel;
+    var j = 0;
+    while (j < n) {
+        if (sel == 0) {
+            acc = acc + 2;
+        } else {
+            acc = acc + 1;
+        }
+        j = j + 1;
+    }
+    return acc;
+}
+`
+
+func TestCompileTraceCompactRoundTrip(t *testing.T) {
+	prog, err := twpp.Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := prog.Trace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.WPP.NumCalls() != 21 { // main + 20 calls
+		t.Errorf("calls = %d, want 21", run.WPP.NumCalls())
+	}
+	tw, stats := twpp.Compact(run.WPP)
+	if stats.UniqueTraces >= stats.Calls {
+		t.Errorf("no redundancy found: %d unique of %d calls", stats.UniqueTraces, stats.Calls)
+	}
+	back, err := twpp.Reconstruct(tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Equal(run.WPP, back) {
+		t.Error("Reconstruct(Compact(w)) != w")
+	}
+}
+
+func TestFileRoundTripViaFacade(t *testing.T) {
+	prog, err := twpp.Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := prog.Trace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, _ := twpp.Compact(run.WPP)
+
+	dir := t.TempDir()
+	comp := filepath.Join(dir, "t.twpp")
+	raw := filepath.Join(dir, "t.wpp")
+	if err := twpp.WriteFile(comp, tw); err != nil {
+		t.Fatal(err)
+	}
+	if err := twpp.WriteRawFile(raw, run.WPP); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := twpp.OpenFile(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	workID, ok := prog.FuncByName("work")
+	if !ok {
+		t.Fatal("work not found")
+	}
+	ft, err := f.ExtractFunction(workID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.CallCount != 20 {
+		t.Errorf("work call count = %d", ft.CallCount)
+	}
+	// Cross-check against the scan of the raw file: expanding each
+	// unique TWPP trace through its dictionary must reproduce traces
+	// found by the scan.
+	scanned, err := twpp.ScanRawFile(raw, workID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scanned) != 20 {
+		t.Fatalf("scanned %d traces", len(scanned))
+	}
+	// Each scanned trace must equal the expansion of some unique trace.
+	for _, tr := range scanned {
+		matched := false
+		for i := range ft.Traces {
+			g, err := twpp.DynamicCFG(ft, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reflect.DeepEqual(g.Path(), tr) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("scanned trace %v has no TWPP counterpart", tr)
+		}
+	}
+}
+
+func TestSequiturFacade(t *testing.T) {
+	prog, err := twpp.Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := prog.Trace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := twpp.CompressSequitur(run.WPP)
+	if c.Size() == 0 {
+		t.Fatal("empty sequitur output")
+	}
+	workID, _ := prog.FuncByName("work")
+	res, err := c.ExtractFunction(int(workID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 20 {
+		t.Errorf("sequitur extracted %d traces", len(res.Traces))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := twpp.Compile("not a program"); err == nil {
+		t.Error("want parse error")
+	}
+	if _, err := twpp.Compile("func f() {}"); err == nil {
+		t.Error("want no-main error")
+	}
+	if _, err := twpp.Compile("func main() { break; }"); err == nil {
+		t.Error("want cfg error")
+	}
+}
+
+func TestPerStatementMode(t *testing.T) {
+	prog, err := twpp.CompileMode(quickSrc, twpp.PerStatement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := prog.Trace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.WPP.NumBlocks() == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestTraceOutputs(t *testing.T) {
+	prog, err := twpp.Compile(`func main() { read a; print(a * 2); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := prog.Trace([]int64{21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Output) != 1 || run.Output[0] != 42 {
+		t.Errorf("output = %v", run.Output)
+	}
+	if run.Steps == 0 {
+		t.Error("steps = 0")
+	}
+}
+
+func TestValidateFacade(t *testing.T) {
+	prog, err := twpp.Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := prog.Trace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(run.WPP); err != nil {
+		t.Errorf("freshly traced WPP invalid: %v", err)
+	}
+	// Corrupt one block id.
+	run.WPP.Traces[0][0] = 99
+	if err := prog.Validate(run.WPP); err == nil {
+		t.Error("corrupted WPP accepted")
+	}
+}
