@@ -1,0 +1,33 @@
+# Development and CI entry points. `make ci` is the gate: vet, build,
+# tests, and the wppfile/root concurrency tests under the race
+# detector.
+
+GO ?= go
+
+.PHONY: build test race vet bench bench-json ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with concurrency: the parallel
+# compaction pipeline (root), its stages (wpp, core), and the
+# concurrent indexed extraction + decode cache (wppfile).
+race:
+	$(GO) test -race ./internal/wppfile/ ./internal/wpp/ ./internal/core/ .
+
+vet:
+	$(GO) vet ./...
+
+# Quick benchmark sweep of the parallel pipeline and concurrent
+# extraction (full tables: `go run ./cmd/twpp-bench`).
+bench:
+	$(GO) test -run xxx -bench 'ParallelCompact|ConcurrentExtract|Table' -benchtime 1x .
+
+# Machine-readable perf snapshot (BENCH_*.json trajectory format).
+bench-json:
+	$(GO) run ./cmd/twpp-bench -scale 0.25 -table 1 -maxfuncs 20 -json BENCH_$(shell date +%Y%m%d).json
+
+ci: vet build test race

@@ -8,7 +8,9 @@
 package twpp_test
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"twpp"
@@ -35,28 +37,35 @@ const benchScale = 0.10
 // buildWorkload traces one profile's program (setup helper, untimed).
 func buildWorkload(b *testing.B, name string) *trace.RawWPP {
 	b.Helper()
+	return buildWorkloadScale(b, name, benchScale)
+}
+
+// buildWorkloadScale traces one profile's program at an explicit
+// scale, for tests and benchmarks alike.
+func buildWorkloadScale(tb testing.TB, name string, scale float64) *trace.RawWPP {
+	tb.Helper()
 	p, err := bench.ProfileByName(name)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	src := p.Generate(benchScale)
+	src := p.Generate(scale)
 	parsed, err := minilang.Parse(src)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	prog, err := cfg.Build(parsed, cfg.MaxBlocks)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	names := make([]string, len(parsed.Funcs))
 	for i, fn := range parsed.Funcs {
 		names[i] = fn.Name
 	}
-	tb := trace.NewBuilder(names)
-	if _, err := interp.Run(prog, tb, nil, interp.Limits{}); err != nil {
-		b.Fatal(err)
+	b := trace.NewBuilder(names)
+	if _, err := interp.Run(prog, b, nil, interp.Limits{}); err != nil {
+		tb.Fatal(err)
 	}
-	return tb.Finish()
+	return b.Finish()
 }
 
 // BenchmarkTable1 times WPP collection (traced execution), whose
@@ -327,6 +336,86 @@ func BenchmarkFigure12(b *testing.B) {
 		if _, _, err := currencyAtAll(tg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Parallel pipeline benchmarks.
+// ---------------------------------------------------------------------
+
+// parallelWorkerCounts returns the worker counts the parallel
+// benchmarks sweep: 1 (the sequential baseline), 2, 4, and GOMAXPROCS
+// when it exceeds 4. On a 4+-core machine the gcc-like profile shows
+// >= 2x at 4 workers; output is byte-identical at every point.
+func parallelWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// BenchmarkParallelCompact times the full compact -> timestamp-invert
+// -> encode pipeline at increasing worker counts on each of the five
+// SPECint-like profiles.
+func BenchmarkParallelCompact(b *testing.B) {
+	for _, p := range bench.Profiles() {
+		b.Run(p.Name, func(b *testing.B) {
+			w := buildWorkload(b, p.Name)
+			for _, workers := range parallelWorkerCounts() {
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						c, _ := wpp.CompactWorkers(w, workers)
+						tw := core.FromCompactedWorkers(c, workers)
+						if _, err := wppfile.EncodeCompactedWorkers(tw, workers); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentExtract hammers one compacted file from
+// GOMAXPROCS x 4 goroutines, with the decode cache off and on. With
+// the cache enabled, every post-warmup extraction is a hit and skips
+// both the positioned read and the decode; the hit rate is reported.
+func BenchmarkConcurrentExtract(b *testing.B) {
+	w := buildWorkload(b, "126.gcc-like")
+	c, _ := wpp.Compact(w)
+	tw := core.FromCompacted(c)
+	path := b.TempDir() + "/t.twpp"
+	if err := wppfile.WriteCompacted(path, tw); err != nil {
+		b.Fatal(err)
+	}
+	for _, cacheEntries := range []int{0, 256} {
+		b.Run(fmt.Sprintf("cache=%d", cacheEntries), func(b *testing.B) {
+			cf, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{CacheEntries: cacheEntries})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cf.Close()
+			fns := cf.Functions()
+			b.ReportAllocs()
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := cf.ExtractFunction(fns[i%len(fns)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			if hits, misses := cf.CacheStats(); hits+misses > 0 {
+				b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
+			}
+		})
 	}
 }
 

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	twpp-bench [-scale f] [-dir path] [-table N | -figure N | -all]
+//	twpp-bench [-scale f] [-dir path] [-j workers] [-json out.json] [-table N | -figure N | -all]
 //
 // With -all (the default) every table (1-6) and figure (8-12) is
 // produced. Tables 4 and 5 involve per-function timing runs and
-// dominate the runtime.
+// dominate the runtime. -json additionally writes a machine-readable
+// report (compaction throughput and extraction latency per profile,
+// the BENCH_*.json trajectory format); -j sizes the compaction worker
+// pool.
 package main
 
 import (
@@ -28,16 +31,18 @@ func main() {
 		figure   = flag.Int("figure", 0, "regenerate only this figure (8-12)")
 		ablation = flag.Bool("ablation", false, "also print the design-decision ablation study")
 		maxFuncs = flag.Int("maxfuncs", 40, "cap on functions measured per benchmark in timing experiments (0 = all)")
+		workers  = flag.Int("j", 0, "compaction worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		jsonOut  = flag.String("json", "", "also write a machine-readable benchmark report to this file")
 	)
 	flag.Parse()
 
-	if err := run(*scale, *dir, *table, *figure, *maxFuncs, *ablation); err != nil {
+	if err := run(*scale, *dir, *table, *figure, *maxFuncs, *workers, *jsonOut, *ablation); err != nil {
 		fmt.Fprintln(os.Stderr, "twpp-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale float64, dir string, table, figure, maxFuncs int, ablation bool) error {
+func run(scale float64, dir string, table, figure, maxFuncs, workers int, jsonOut string, ablation bool) error {
 	out := os.Stdout
 
 	// Figures 9-12 are worked examples independent of the workload
@@ -57,7 +62,7 @@ func run(scale float64, dir string, table, figure, maxFuncs int, ablation bool) 
 
 	fmt.Fprintf(out, "Running %d benchmark profiles at scale %.2f (files in %s)\n\n",
 		len(bench.Profiles()), scale, dir)
-	results, err := bench.RunAll(scale, dir)
+	results, err := bench.RunAllWorkers(scale, dir, workers)
 	if err != nil {
 		return err
 	}
@@ -82,7 +87,7 @@ func run(scale float64, dir string, table, figure, maxFuncs int, ablation bool) 
 		fmt.Fprintln(out)
 	}
 	var timings []*bench.ExtractTiming
-	if want(4) {
+	if want(4) || jsonOut != "" {
 		for _, r := range results {
 			t, err := bench.MeasureExtraction(r, maxFuncs)
 			if err != nil {
@@ -90,6 +95,8 @@ func run(scale float64, dir string, table, figure, maxFuncs int, ablation bool) 
 			}
 			timings = append(timings, t)
 		}
+	}
+	if want(4) {
 		bench.Table4(out, results, timings)
 		fmt.Fprintln(out)
 	}
@@ -133,6 +140,13 @@ func run(scale float64, dir string, table, figure, maxFuncs int, ablation bool) 
 			fmt.Fprintln(out)
 		}
 		bench.Summary(out, results, timings)
+	}
+	if jsonOut != "" {
+		rep := bench.BuildJSONReport(scale, workers, results, timings)
+		if err := rep.WriteJSON(jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonOut)
 	}
 	return nil
 }

@@ -1,23 +1,51 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twpp/internal/bench"
+)
 
 func TestRunSingleTableTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs all profiles")
 	}
 	dir := t.TempDir()
-	if err := run(0.02, dir, 1, 0, 2, false); err != nil {
+	jsonOut := filepath.Join(dir, "bench.json")
+	if err := run(0.02, dir, 1, 0, 2, 2, jsonOut, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0.02, dir, 2, 0, 2, false); err != nil {
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatalf("-json output missing: %v", err)
+	}
+	var rep bench.JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("-json output unparsable: %v", err)
+	}
+	if len(rep.Profiles) != len(bench.Profiles()) {
+		t.Errorf("json profiles = %d, want %d", len(rep.Profiles), len(bench.Profiles()))
+	}
+	for _, p := range rep.Profiles {
+		if p.ThroughputMBPerS <= 0 {
+			t.Errorf("%s: non-positive compaction throughput", p.Name)
+		}
+		if p.ExtractAvgNs <= 0 || p.ExtractSpeedupOverRaw <= 0 {
+			t.Errorf("%s: missing extraction latency (%d ns, %.2fx)",
+				p.Name, p.ExtractAvgNs, p.ExtractSpeedupOverRaw)
+		}
+	}
+	if err := run(0.02, dir, 2, 0, 2, 1, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFigures(t *testing.T) {
 	for _, f := range []int{9, 10, 11, 12} {
-		if err := run(1, "", 0, f, 1, false); err != nil {
+		if err := run(1, "", 0, f, 1, 1, "", false); err != nil {
 			t.Errorf("figure %d: %v", f, err)
 		}
 	}

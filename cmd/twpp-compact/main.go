@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	twpp-compact -in trace.wpp [-o trace.twpp] [-sequitur trace.seq]
+//	twpp-compact -in trace.wpp [-o trace.twpp] [-j workers] [-sequitur trace.seq]
 package main
 
 import (
@@ -18,19 +18,20 @@ import (
 
 func main() {
 	var (
-		in   = flag.String("in", "", "input raw WPP file (required)")
-		out  = flag.String("o", "", "output compacted TWPP file (default: input with .twpp)")
-		seq  = flag.String("sequitur", "", "also write the Sequitur-compressed baseline here")
-		verb = flag.Bool("v", true, "print compaction statistics")
+		in      = flag.String("in", "", "input raw WPP file (required)")
+		out     = flag.String("o", "", "output compacted TWPP file (default: input with .twpp)")
+		seq     = flag.String("sequitur", "", "also write the Sequitur-compressed baseline here")
+		workers = flag.Int("j", 0, "compaction worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		verb    = flag.Bool("v", true, "print compaction statistics")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *seq, *verb); err != nil {
+	if err := run(*in, *out, *seq, *workers, *verb); err != nil {
 		fmt.Fprintln(os.Stderr, "twpp-compact:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, seqPath string, verbose bool) error {
+func run(in, out, seqPath string, workers int, verbose bool) error {
 	if in == "" {
 		return fmt.Errorf("missing -in")
 	}
@@ -41,8 +42,9 @@ func run(in, out, seqPath string, verbose bool) error {
 	if err != nil {
 		return err
 	}
-	tw, stats := twpp.Compact(w)
-	if err := twpp.WriteFile(out, tw); err != nil {
+	opts := twpp.CompactOptions{Workers: workers}
+	tw, stats := twpp.CompactOpts(w, opts)
+	if err := twpp.WriteFileOpts(out, tw, opts); err != nil {
 		return err
 	}
 	if verbose {

@@ -45,7 +45,7 @@ func TestRunCompacts(t *testing.T) {
 	in := writeTrace(t, dir)
 	out := filepath.Join(dir, "t.twpp")
 	seq := filepath.Join(dir, "t.seq")
-	if err := run(in, out, seq, false); err != nil {
+	if err := run(in, out, seq, 2, false); err != nil {
 		t.Fatal(err)
 	}
 	cf, err := twpp.OpenFile(out)
@@ -70,7 +70,7 @@ func TestRunCompacts(t *testing.T) {
 func TestRunDefaultOutputName(t *testing.T) {
 	dir := t.TempDir()
 	in := writeTrace(t, dir)
-	if err := run(in, "", "", false); err != nil {
+	if err := run(in, "", "", 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(in + ".twpp"); err != nil {
@@ -79,10 +79,10 @@ func TestRunDefaultOutputName(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", false); err == nil {
+	if err := run("", "", "", 1, false); err == nil {
 		t.Error("missing input: want error")
 	}
-	if err := run("/nonexistent/file.wpp", "", "", false); err == nil {
+	if err := run("/nonexistent/file.wpp", "", "", 1, false); err == nil {
 		t.Error("absent input: want error")
 	}
 }

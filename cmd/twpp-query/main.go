@@ -6,8 +6,11 @@
 // Usage:
 //
 //	twpp-query -in trace.twpp -list
-//	twpp-query -in trace.twpp -func 3 [-trace 0] [-show]
+//	twpp-query -in trace.twpp -func 3 [-trace 0] [-show] [-cache 64]
 //	twpp-query -in trace.twpp -func 3 -trace 0 -block 4 -gen 1 -kill 6
+//
+// -cache N keeps up to N decoded function blocks in a sharded LRU so
+// repeated extractions of hot functions skip I/O and decode.
 package main
 
 import (
@@ -32,19 +35,20 @@ func main() {
 		block   = flag.Int("block", 0, "query block: ask whether the fact holds before its executions")
 		genStr  = flag.String("gen", "", "comma-separated block ids that generate the fact")
 		killStr = flag.String("kill", "", "comma-separated block ids that kill the fact")
+		cache   = flag.Int("cache", 0, "decoded-block LRU cache entries (0 = no cache)")
 	)
 	flag.Parse()
-	if err := run(*in, *list, *fn, *traceIx, *show, *block, *genStr, *killStr); err != nil {
+	if err := run(*in, *list, *fn, *traceIx, *show, *block, *genStr, *killStr, *cache); err != nil {
 		fmt.Fprintln(os.Stderr, "twpp-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, list bool, fn, traceIx int, show bool, block int, genStr, killStr string) error {
+func run(in string, list bool, fn, traceIx int, show bool, block int, genStr, killStr string, cache int) error {
 	if in == "" {
 		return fmt.Errorf("missing -in")
 	}
-	f, err := twpp.OpenFile(in)
+	f, err := twpp.OpenFileOpts(in, twpp.OpenOptions{CacheEntries: cache})
 	if err != nil {
 		return err
 	}

@@ -53,15 +53,41 @@ type Result struct {
 	// call count.
 	Uniques, CallCounts []int
 
+	// Pipeline timings (with Workers goroutines): the three compaction
+	// transformations, the TWPP timestamp inversion, and the on-disk
+	// encode.
+	Workers     int
+	CompactTime time.Duration
+	TWPPTime    time.Duration
+	EncodeTime  time.Duration
+
 	// Artifacts.
 	TWPP     *core.TWPP
 	RawPath  string
 	CompPath string
 }
 
-// Run generates, executes, compacts, and serializes one benchmark,
-// collecting all size statistics. Files are written under dir.
+// CompactThroughput reports compaction speed in raw-trace MB/s over
+// the whole compact+invert+encode pipeline.
+func (r *Result) CompactThroughput() float64 {
+	total := r.CompactTime + r.TWPPTime + r.EncodeTime
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RawTraceBytes) / total.Seconds() / 1e6
+}
+
+// Run generates, executes, compacts, and serializes one benchmark
+// sequentially, collecting all size statistics. Files are written
+// under dir.
 func Run(p Profile, scale float64, dir string) (*Result, error) {
+	return RunWorkers(p, scale, dir, 1)
+}
+
+// RunWorkers is Run with the compaction pipeline's per-function work
+// fanned out over workers goroutines (<= 0 selects GOMAXPROCS). The
+// produced artifacts are identical for every worker count.
+func RunWorkers(p Profile, scale float64, dir string, workers int) (*Result, error) {
 	src := p.Generate(scale)
 	prog, err := minilang.Parse(src)
 	if err != nil {
@@ -81,16 +107,20 @@ func Run(p Profile, scale float64, dir string) (*Result, error) {
 	}
 	w := builder.Finish()
 
-	res := &Result{Profile: p, Prog: cfgProg, StaticFuncs: len(prog.Funcs)}
+	res := &Result{Profile: p, Prog: cfgProg, StaticFuncs: len(prog.Funcs), Workers: workers}
 	res.Calls = w.NumCalls()
 	res.Blocks = w.NumBlocks()
 	res.RawDCGBytes, res.RawTraceBytes = w.RawSizes()
 
-	compacted, stats := wpp.Compact(w)
+	start := time.Now()
+	compacted, stats := wpp.CompactWorkers(w, workers)
+	res.CompactTime = time.Since(start)
 	res.Stats = stats
 	res.Uniques, res.CallCounts = compacted.UniqueTraceDistribution()
 
-	tw := core.FromCompacted(compacted)
+	start = time.Now()
+	tw := core.FromCompactedWorkers(compacted, workers)
+	res.TWPPTime = time.Since(start)
 	res.TWPP = tw
 	res.TWPPTraceBytes, res.TWPPDictBytes = tw.SizeStats()
 	res.DynNodes, res.DynEdges = tw.DynamicGraphStats()
@@ -109,7 +139,13 @@ func Run(p Profile, scale float64, dir string) (*Result, error) {
 		if err := wppfile.WriteRaw(res.RawPath, w); err != nil {
 			return nil, err
 		}
-		if err := wppfile.WriteCompacted(res.CompPath, tw); err != nil {
+		start = time.Now()
+		data, err := wppfile.EncodeCompactedWorkers(tw, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.EncodeTime = time.Since(start)
+		if err := os.WriteFile(res.CompPath, data, 0o644); err != nil {
 			return nil, err
 		}
 		cf, err := wppfile.OpenCompacted(res.CompPath)
@@ -126,11 +162,17 @@ func Run(p Profile, scale float64, dir string) (*Result, error) {
 	return res, nil
 }
 
-// RunAll runs every profile.
+// RunAll runs every profile sequentially.
 func RunAll(scale float64, dir string) ([]*Result, error) {
+	return RunAllWorkers(scale, dir, 1)
+}
+
+// RunAllWorkers runs every profile with the given compaction worker
+// pool size.
+func RunAllWorkers(scale float64, dir string, workers int) ([]*Result, error) {
 	var out []*Result
 	for _, p := range Profiles() {
-		r, err := Run(p, scale, dir)
+		r, err := RunWorkers(p, scale, dir, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// JSONReport is the machine-readable output of cmd/twpp-bench -json:
+// per-profile compaction throughput and extraction latency. Files in
+// this shape (BENCH_*.json) form the repo's performance trajectory
+// across PRs.
+type JSONReport struct {
+	// Scale is the workload scale factor the run used.
+	Scale float64 `json:"scale"`
+	// Workers is the compaction worker pool size.
+	Workers int `json:"workers"`
+	// GoMaxProcs records the parallelism available to the run.
+	GoMaxProcs int `json:"gomaxprocs"`
+	Profiles   []JSONProfile `json:"profiles"`
+}
+
+// JSONProfile is one benchmark profile's measurements.
+type JSONProfile struct {
+	Name   string `json:"name"`
+	Blocks int    `json:"trace_blocks"`
+	Calls  int    `json:"calls"`
+
+	// Sizes (bytes) and the overall compaction factor.
+	RawBytes         int     `json:"raw_bytes"`
+	CompactedBytes   int64   `json:"compacted_file_bytes"`
+	CompactionFactor float64 `json:"compaction_factor"`
+
+	// Compaction pipeline timings (ns) and raw-trace throughput.
+	CompactNs        int64   `json:"compact_ns"`
+	TWPPNs           int64   `json:"twpp_ns"`
+	EncodeNs         int64   `json:"encode_ns"`
+	ThroughputMBPerS float64 `json:"compact_mb_per_s"`
+
+	// Per-function extraction latency (ns), averaged and worst-case
+	// over the measured functions; zero when extraction timing was not
+	// run.
+	ExtractFunctions      int     `json:"extract_functions,omitempty"`
+	ExtractAvgNs          int64   `json:"extract_avg_ns,omitempty"`
+	ExtractMaxNs          int64   `json:"extract_max_ns,omitempty"`
+	ScanAvgNs             int64   `json:"scan_avg_ns,omitempty"`
+	ScanMaxNs             int64   `json:"scan_max_ns,omitempty"`
+	ExtractSpeedupOverRaw float64 `json:"extract_speedup_over_raw,omitempty"`
+}
+
+// BuildJSONReport assembles the report from run results and optional
+// extraction timings (timings may be nil or shorter than results).
+func BuildJSONReport(scale float64, workers int, results []*Result, timings []*ExtractTiming) *JSONReport {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &JSONReport{Scale: scale, Workers: workers, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for i, r := range results {
+		p := JSONProfile{
+			Name:             r.Profile.Name,
+			Blocks:           r.Blocks,
+			Calls:            r.Calls,
+			RawBytes:         r.RawDCGBytes + r.RawTraceBytes,
+			CompactedBytes:   r.FileTotal,
+			CompactionFactor: r.CompactionFactor(),
+			CompactNs:        r.CompactTime.Nanoseconds(),
+			TWPPNs:           r.TWPPTime.Nanoseconds(),
+			EncodeNs:         r.EncodeTime.Nanoseconds(),
+			ThroughputMBPerS: r.CompactThroughput(),
+		}
+		if i < len(timings) && timings[i] != nil {
+			t := timings[i]
+			p.ExtractFunctions = t.Functions
+			p.ExtractAvgNs = t.AvgCompacted.Nanoseconds()
+			p.ExtractMaxNs = t.MaxCompacted.Nanoseconds()
+			p.ScanAvgNs = t.AvgUncompacted.Nanoseconds()
+			p.ScanMaxNs = t.MaxUncompacted.Nanoseconds()
+			p.ExtractSpeedupOverRaw = t.Speedup()
+		}
+		rep.Profiles = append(rep.Profiles, p)
+	}
+	return rep
+}
+
+// WriteJSON writes the report to path, indented for diffability.
+func (r *JSONReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// TotalPipeline sums one profile's compact, invert, and encode times.
+func (p *JSONProfile) TotalPipeline() time.Duration {
+	return time.Duration(p.CompactNs + p.TWPPNs + p.EncodeNs)
+}

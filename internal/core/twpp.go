@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"twpp/internal/cfg"
 	"twpp/internal/wpp"
@@ -121,14 +123,25 @@ type TWPP struct {
 	Funcs     []FunctionTWPP
 }
 
-// FromCompacted converts a dictionary-compacted WPP into TWPP form.
+// FromCompacted converts a dictionary-compacted WPP into TWPP form,
+// sequentially.
 func FromCompacted(c *wpp.Compacted) *TWPP {
+	return FromCompactedWorkers(c, 1)
+}
+
+// FromCompactedWorkers is FromCompacted with the per-function
+// timestamp inversion fanned out over a bounded worker pool.
+// workers <= 0 selects runtime.GOMAXPROCS(0). Functions are converted
+// independently and each worker writes only its own t.Funcs[f] slot,
+// so the result is identical to the sequential path for any worker
+// count.
+func FromCompactedWorkers(c *wpp.Compacted, workers int) *TWPP {
 	t := &TWPP{
 		FuncNames: c.FuncNames,
 		Root:      c.Root,
 		Funcs:     make([]FunctionTWPP, len(c.Funcs)),
 	}
-	for f := range c.Funcs {
+	convert := func(f int) {
 		ft := &c.Funcs[f]
 		out := &t.Funcs[f]
 		out.Fn = ft.Fn
@@ -140,6 +153,31 @@ func FromCompacted(c *wpp.Compacted) *TWPP {
 			out.Traces[i] = FromPath(path)
 		}
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(c.Funcs) <= 1 {
+		for f := range c.Funcs {
+			convert(f)
+		}
+		return t
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range jobs {
+				convert(f)
+			}
+		}()
+	}
+	for f := range c.Funcs {
+		jobs <- f
+	}
+	close(jobs)
+	wg.Wait()
 	return t
 }
 

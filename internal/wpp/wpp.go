@@ -17,7 +17,9 @@ package wpp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"twpp/internal/cfg"
 	"twpp/internal/trace"
@@ -147,8 +149,18 @@ type Stats struct {
 }
 
 // Compact runs partitioning, redundancy elimination, and DBB
-// dictionary creation over a raw WPP.
+// dictionary creation over a raw WPP, sequentially.
 func Compact(w *trace.RawWPP) (*Compacted, Stats) {
+	return CompactWorkers(w, 1)
+}
+
+// CompactWorkers is Compact with the per-function DBB-discovery stage
+// fanned out over a bounded worker pool. workers <= 0 selects
+// runtime.GOMAXPROCS(0). The output is deterministic: per-function
+// results are merged in function order, so the Compacted value and the
+// accumulated Stats are identical to the sequential (workers == 1)
+// path for any worker count.
+func CompactWorkers(w *trace.RawWPP, workers int) (*Compacted, Stats) {
 	numFuncs := len(w.FuncNames)
 	// Functions can appear in the DCG beyond the name table when names
 	// are absent; size by scanning.
@@ -201,12 +213,21 @@ func Compact(w *trace.RawWPP) (*Compacted, Stats) {
 	c.Root = build(w.Root)
 
 	// Stage 3: per unique trace, discover DBBs and compact; then
-	// deduplicate dictionaries per function.
-	for f := range orig {
+	// deduplicate dictionaries per function. Functions are mutually
+	// independent here, so the work fans out over a bounded pool; each
+	// worker writes only its own c.Funcs[f] slot and partial-stats
+	// slot, and the partials are summed in function order afterwards so
+	// the Stats accumulate identically to a sequential run.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	partial := make([]Stats, numFuncs)
+	compactFunc := func(f int) {
 		ft := &c.Funcs[f]
+		ps := &partial[f]
 		dictSeen := make(map[string]int)
 		for _, tr := range orig[f] {
-			stats.AfterRedundancy += 4 * len(tr)
+			ps.AfterRedundancy += 4 * len(tr)
 			compacted, dict := compactTrace(tr)
 			dk := dict.key()
 			di, ok := dictSeen[dk]
@@ -218,14 +239,43 @@ func Compact(w *trace.RawWPP) (*Compacted, Stats) {
 			ft.Traces = append(ft.Traces, compacted)
 			ft.OrigLen = append(ft.OrigLen, len(tr))
 			ft.DictOf = append(ft.DictOf, di)
-			stats.UniqueTraces++
+			ps.UniqueTraces++
 		}
 		for _, tr := range ft.Traces {
-			stats.AfterDictionary += 4 * len(tr)
+			ps.AfterDictionary += 4 * len(tr)
 		}
 		for _, d := range ft.Dicts {
-			stats.DictionaryBytes += 4 * d.Words()
+			ps.DictionaryBytes += 4 * d.Words()
 		}
+	}
+	if workers == 1 || numFuncs <= 1 {
+		for f := range orig {
+			compactFunc(f)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for f := range jobs {
+					compactFunc(f)
+				}
+			}()
+		}
+		for f := range orig {
+			jobs <- f
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for f := range partial {
+		ps := &partial[f]
+		stats.AfterRedundancy += ps.AfterRedundancy
+		stats.AfterDictionary += ps.AfterDictionary
+		stats.DictionaryBytes += ps.DictionaryBytes
+		stats.UniqueTraces += ps.UniqueTraces
 	}
 	stats.AfterDictionary += stats.DictionaryBytes
 	return c, stats

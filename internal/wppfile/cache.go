@@ -1,0 +1,107 @@
+package wppfile
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+)
+
+// decodeCache is a sharded LRU of decoded function blocks, keyed by
+// FuncID. Sharding keeps lock contention low when many goroutines
+// extract concurrently; hit/miss counters are atomic so CacheStats
+// never takes a lock. Cached *core.FunctionTWPP values are shared
+// between callers and must be treated as read-only.
+type decodeCache struct {
+	shards []cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[cfg.FuncID]*list.Element
+}
+
+type cacheEntry struct {
+	fn cfg.FuncID
+	ft *core.FunctionTWPP
+}
+
+// cacheShardCount bounds the shard fan-out; tiny caches use fewer
+// shards so each still holds at least one entry.
+const cacheShardCount = 8
+
+// newDecodeCache builds a cache holding up to entries decoded blocks
+// in total. entries <= 0 returns nil (caching disabled).
+func newDecodeCache(entries int) *decodeCache {
+	if entries <= 0 {
+		return nil
+	}
+	n := cacheShardCount
+	if entries < n {
+		n = entries
+	}
+	c := &decodeCache{shards: make([]cacheShard, n)}
+	per := (entries + n - 1) / n
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap: per,
+			ll:  list.New(),
+			m:   make(map[cfg.FuncID]*list.Element, per),
+		}
+	}
+	return c
+}
+
+func (c *decodeCache) shard(fn cfg.FuncID) *cacheShard {
+	return &c.shards[uint32(fn)%uint32(len(c.shards))]
+}
+
+// get returns the cached block for fn, updating recency and counters.
+func (c *decodeCache) get(fn cfg.FuncID) (*core.FunctionTWPP, bool) {
+	s := c.shard(fn)
+	s.mu.Lock()
+	el, ok := s.m[fn]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(cacheEntry).ft, true
+}
+
+// put inserts a decoded block, evicting the shard's least recently
+// used entry when full.
+func (c *decodeCache) put(fn cfg.FuncID, ft *core.FunctionTWPP) {
+	s := c.shard(fn)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[fn]; ok {
+		// A concurrent extraction already cached this block; keep the
+		// existing entry so all callers share one decode.
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		if oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.m, oldest.Value.(cacheEntry).fn)
+		}
+	}
+	s.m[fn] = s.ll.PushFront(cacheEntry{fn: fn, ft: ft})
+}
+
+// stats reports cumulative hit and miss counts.
+func (c *decodeCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -15,7 +15,9 @@ package wppfile
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
 	"twpp/internal/cfg"
 	"twpp/internal/core"
@@ -172,7 +174,14 @@ type indexEntry struct {
 
 // WriteCompacted serializes a TWPP in the compacted indexed format.
 func WriteCompacted(path string, t *core.TWPP) error {
-	data, err := EncodeCompacted(t)
+	return WriteCompactedWorkers(path, t, 1)
+}
+
+// WriteCompactedWorkers is WriteCompacted with per-function block
+// encoding fanned out over workers goroutines (<= 0 selects
+// runtime.GOMAXPROCS(0)).
+func WriteCompactedWorkers(path string, t *core.TWPP, workers int) error {
+	data, err := EncodeCompactedWorkers(t, workers)
 	if err != nil {
 		return err
 	}
@@ -181,6 +190,19 @@ func WriteCompacted(path string, t *core.TWPP) error {
 
 // EncodeCompacted produces the compacted file image in memory.
 func EncodeCompacted(t *core.TWPP) ([]byte, error) {
+	return EncodeCompactedWorkers(t, 1)
+}
+
+// encodeBufPool recycles per-function encode buffers across
+// EncodeCompactedWorkers calls.
+var encodeBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// EncodeCompactedWorkers is EncodeCompacted with the per-function
+// blocks encoded concurrently into pooled buffers. The index and final
+// image are assembled sequentially in hotness order, so the output is
+// byte-identical to the sequential (workers == 1) path for any worker
+// count.
+func EncodeCompactedWorkers(t *core.TWPP, workers int) ([]byte, error) {
 	// Per-function blocks, hottest function first (the paper stores
 	// the most frequently called function's traces first).
 	order := make([]cfg.FuncID, 0, len(t.Funcs))
@@ -197,11 +219,56 @@ func EncodeCompacted(t *core.TWPP) ([]byte, error) {
 		return order[i] < order[j]
 	})
 
-	var blocks []byte
+	// Encode each function's block into its own pooled buffer,
+	// concurrently when workers allow. Blocks only ever append to
+	// their buffer, so the per-function bytes are independent of
+	// scheduling.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parts := make([]*[]byte, len(order))
+	encode := func(i int) {
+		bp := encodeBufPool.Get().(*[]byte)
+		*bp = encodeFunctionBlock((*bp)[:0], &t.Funcs[order[i]])
+		parts[i] = bp
+	}
+	if workers == 1 || len(order) <= 1 {
+		for i := range order {
+			encode(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					encode(i)
+				}
+			}()
+		}
+		for i := range order {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Assemble the blocks section and its index sequentially in
+	// hotness order, returning buffers to the pool as they are
+	// consumed.
+	total := 0
+	for _, bp := range parts {
+		total += len(*bp)
+	}
+	blocks := make([]byte, 0, total)
 	index := make([]indexEntry, 0, len(order))
-	for _, f := range order {
+	for i, f := range order {
 		start := len(blocks)
-		blocks = encodeFunctionBlock(blocks, &t.Funcs[f])
+		blocks = append(blocks, *parts[i]...)
+		encodeBufPool.Put(parts[i])
+		parts[i] = nil
 		index = append(index, indexEntry{
 			Fn:        f,
 			CallCount: t.Funcs[f].CallCount,
@@ -454,8 +521,17 @@ func decodeDCG(data []byte) (*wpp.CallNode, error) {
 }
 
 // CompactedFile provides indexed access to a compacted TWPP file.
-// Open reads only the header and index; per-function extraction seeks
-// directly to the function's block.
+// Open reads only the header and index; per-function extraction reads
+// directly at the function's block offset.
+//
+// Concurrency contract: a CompactedFile is safe for concurrent use by
+// multiple goroutines. All file access after Open uses positioned
+// ReadAt I/O on the shared descriptor (never Seek+Read, which would
+// race on the file position), and the header, index, and order fields
+// are immutable once Open returns. When the decode cache is enabled
+// (OpenOptions.CacheEntries > 0), ExtractFunction may return the same
+// *core.FunctionTWPP to several goroutines: callers must treat
+// extracted blocks as read-only.
 type CompactedFile struct {
 	f         *os.File
 	FuncNames []string
@@ -463,15 +539,31 @@ type CompactedFile struct {
 	// order preserves the on-disk (hotness) order of the index.
 	order []cfg.FuncID
 	// dcgOffset/dcgLen locate the compressed DCG; blocksOffset is the
-	// base of the blocks section.
+	// base of the blocks section; size is the total file size.
 	dcgOffset    int64
 	dcgLen       int
 	blocksOffset int64
+	size         int64
+	// cache, when non-nil, holds recently decoded function blocks.
+	cache *decodeCache
 }
 
-// OpenCompacted opens a compacted TWPP file, reading header and index
-// only.
+// OpenOptions configures OpenCompactedOptions.
+type OpenOptions struct {
+	// CacheEntries sizes the sharded LRU cache of decoded function
+	// blocks. 0 disables caching (every extraction decodes afresh).
+	CacheEntries int
+}
+
+// OpenCompacted opens a compacted TWPP file with caching disabled,
+// reading header and index only.
 func OpenCompacted(path string) (*CompactedFile, error) {
+	return OpenCompactedOptions(path, OpenOptions{})
+}
+
+// OpenCompactedOptions opens a compacted TWPP file, reading header and
+// index only.
+func OpenCompactedOptions(path string, opts OpenOptions) (*CompactedFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -493,7 +585,12 @@ func OpenCompacted(path string) (*CompactedFile, error) {
 		return nil, err
 	}
 
-	cf := &CompactedFile{f: f, index: make(map[cfg.FuncID]indexEntry)}
+	cf := &CompactedFile{
+		f:     f,
+		index: make(map[cfg.FuncID]indexEntry),
+		size:  st.Size(),
+		cache: newDecodeCache(opts.CacheEntries),
+	}
 	parse := func(head []byte) error {
 		c := encoding.NewCursor(head)
 		magic, err := c.Uint32()
@@ -598,9 +695,17 @@ func (cf *CompactedFile) CallCount(fn cfg.FuncID) int {
 	return cf.index[fn].CallCount
 }
 
-// ExtractFunction reads exactly one function's block: one seek, one
-// read, one decode. This is the fast path of Table 4.
+// ExtractFunction reads exactly one function's block: one positioned
+// read plus one decode. This is the fast path of Table 4. With the
+// decode cache enabled, repeated extractions of a hot function skip
+// both the read and the decode; the returned block is then shared and
+// must be treated as read-only.
 func (cf *CompactedFile) ExtractFunction(fn cfg.FuncID) (*core.FunctionTWPP, error) {
+	if cf.cache != nil {
+		if ft, ok := cf.cache.get(fn); ok {
+			return ft, nil
+		}
+	}
 	e, ok := cf.index[fn]
 	if !ok {
 		return nil, fmt.Errorf("wppfile: function %d not present in WPP", fn)
@@ -609,7 +714,23 @@ func (cf *CompactedFile) ExtractFunction(fn cfg.FuncID) (*core.FunctionTWPP, err
 	if _, err := cf.f.ReadAt(buf, cf.blocksOffset+int64(e.Offset)); err != nil {
 		return nil, err
 	}
-	return decodeFunctionBlock(buf, fn)
+	ft, err := decodeFunctionBlock(buf, fn)
+	if err != nil {
+		return nil, err
+	}
+	if cf.cache != nil {
+		cf.cache.put(fn, ft)
+	}
+	return ft, nil
+}
+
+// CacheStats reports the decode cache's cumulative hit and miss
+// counts (both zero when the cache is disabled).
+func (cf *CompactedFile) CacheStats() (hits, misses uint64) {
+	if cf.cache == nil {
+		return 0, 0
+	}
+	return cf.cache.stats()
 }
 
 // ReadDCG decompresses and decodes the dynamic call graph.
@@ -657,11 +778,8 @@ func (cf *CompactedFile) ReadAll() (*core.TWPP, error) {
 
 // SectionSizes reports the on-disk sizes of the compacted file's
 // components (header+index, compressed DCG, function blocks) for the
-// Table 3 breakdown.
+// Table 3 breakdown. It reads only fields fixed at Open, so it is safe
+// to call concurrently with extractions.
 func (cf *CompactedFile) SectionSizes() (header, dcg, blocks int64, err error) {
-	st, err := cf.f.Stat()
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	return cf.dcgOffset, int64(cf.dcgLen), st.Size() - cf.blocksOffset, nil
+	return cf.dcgOffset, int64(cf.dcgLen), cf.size - cf.blocksOffset, nil
 }

@@ -169,8 +169,24 @@ func (p *Program) Validate(w *RawWPP) error {
 // redundant-trace elimination, DBB dictionaries, and the timestamp
 // transformation. The returned stats carry the per-stage sizes.
 func Compact(w *RawWPP) (*TWPP, CompactStats) {
-	c, stats := wpp.Compact(w)
-	return core.FromCompacted(c), stats
+	return CompactOpts(w, CompactOptions{Workers: 1})
+}
+
+// CompactOptions configures the compaction pipeline.
+type CompactOptions struct {
+	// Workers bounds the worker pool that fans per-function work
+	// (redundant-trace elimination, DBB dictionary discovery, and the
+	// timestamp inversion) across goroutines. 0 selects
+	// runtime.GOMAXPROCS; 1 runs sequentially. Output is byte-for-byte
+	// independent of the worker count.
+	Workers int
+}
+
+// CompactOpts is Compact with explicit options. The produced TWPP is
+// identical for every worker count; only wall-clock time changes.
+func CompactOpts(w *RawWPP, opts CompactOptions) (*TWPP, CompactStats) {
+	c, stats := wpp.CompactWorkers(w, opts.Workers)
+	return core.FromCompactedWorkers(c, opts.Workers), stats
 }
 
 // Reconstruct inverts Compact, recovering a WPP Linear-equal to the
@@ -188,10 +204,30 @@ func WriteFile(path string, t *TWPP) error {
 	return wppfile.WriteCompacted(path, t)
 }
 
-// OpenFile opens a compacted TWPP file, reading only its header and
-// function index; per-function extraction is a single seek.
+// WriteFileOpts is WriteFile with per-function block encoding fanned
+// out over opts.Workers goroutines into pooled buffers. The on-disk
+// bytes are identical for every worker count.
+func WriteFileOpts(path string, t *TWPP, opts CompactOptions) error {
+	return wppfile.WriteCompactedWorkers(path, t, opts.Workers)
+}
+
+// OpenFile opens a compacted TWPP file with the decode cache disabled,
+// reading only its header and function index; per-function extraction
+// is a single positioned read.
 func OpenFile(path string) (*File, error) {
 	return wppfile.OpenCompacted(path)
+}
+
+// OpenOptions configures OpenFileOpts.
+type OpenOptions = wppfile.OpenOptions
+
+// OpenFileOpts is OpenFile with options: OpenOptions.CacheEntries > 0
+// enables a sharded LRU cache of decoded per-function blocks, so
+// repeated hot-function extractions skip both I/O and decode. The
+// returned File is safe for concurrent use; with the cache enabled,
+// extracted blocks are shared and must be treated as read-only.
+func OpenFileOpts(path string, opts OpenOptions) (*File, error) {
+	return wppfile.OpenCompactedOptions(path, opts)
 }
 
 // WriteRawFile serializes a WPP in the uncompacted linear format (the
