@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json ci
+.PHONY: build test race vet bench bench-json bench-mem fuzz-seed ci
 
 build:
 	$(GO) build ./...
@@ -26,8 +26,19 @@ vet:
 bench:
 	$(GO) test -run xxx -bench 'ParallelCompact|ConcurrentExtract|Table' -benchtime 1x .
 
-# Machine-readable perf snapshot (BENCH_*.json trajectory format).
+# Machine-readable perf snapshot (BENCH_*.json trajectory format),
+# including the batch-vs-streaming memory comparison.
 bench-json:
 	$(GO) run ./cmd/twpp-bench -scale 0.25 -table 1 -maxfuncs 20 -json BENCH_$(shell date +%Y%m%d).json
 
-ci: vet build test race
+# Peak-heap comparison of the batch and streaming compaction pipelines
+# (one iteration each; fast enough for local runs and CI).
+bench-mem:
+	$(GO) test -run xxx -bench StreamCompact -benchtime 1x .
+
+# Run the determinism fuzz targets on their seed corpora only (no
+# fuzzing time; the seeded cases run as ordinary tests).
+fuzz-seed:
+	$(GO) test -run 'FuzzParallelCompactDeterminism|FuzzStreamCompactDeterminism' .
+
+ci: vet build test race fuzz-seed bench-mem

@@ -10,6 +10,7 @@ package twpp_test
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -511,4 +512,69 @@ func currencyAtAll(tg *dataflow.TGraph) (core.Seq, core.Seq, error) {
 func currencyAll(tg *dataflow.TGraph) (core.Seq, core.Seq, error) {
 	m := currency.Motion{Var: "X", From: 1, To: 2}
 	return currency.AtAll(tg, m, 3)
+}
+
+// BenchmarkStreamCompact compares the batch pipeline (slurp the file,
+// compact, invert, encode to a byte slice) against the streaming
+// pipeline on the same raw file. The report metrics carry each
+// variant's peak heap growth — the number the streaming pipeline
+// exists to shrink; both produce byte-identical output (pinned by
+// TestStreamCompactMatchesBatch).
+func BenchmarkStreamCompact(b *testing.B) {
+	// A larger instance than benchScale: the pipelines differ in
+	// asymptotics, so the gap needs a trace that dwarfs the fixed
+	// costs (unique traces, DCG) both share.
+	w := buildWorkloadScale(b, "126.gcc-like", 0.5)
+	rawPath := filepath.Join(b.TempDir(), "t.wpp")
+	if err := wppfile.WriteRaw(rawPath, w); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(rawPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The min over iterations is the cleanest peak estimate: GC
+	// pacing can only add to an iteration's observed peak, never
+	// subtract from it.
+	minPeak := func(b *testing.B, run func() error) uint64 {
+		b.Helper()
+		var m uint64
+		for i := 0; i < b.N; i++ {
+			p, _, err := bench.PeakHeap(run)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m == 0 || p < m {
+				m = p
+			}
+		}
+		return m
+	}
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(fi.Size())
+		peak := minPeak(b, func() error {
+			w, err := wppfile.ReadRaw(rawPath)
+			if err != nil {
+				return err
+			}
+			c, _ := wpp.CompactWorkers(w, 1)
+			tw := core.FromCompactedWorkers(c, 1)
+			_, err = wppfile.EncodeCompactedWorkers(tw, 1)
+			return err
+		})
+		b.ReportMetric(float64(peak), "peak-heap-bytes")
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.SetBytes(fi.Size())
+		peak := minPeak(b, func() error {
+			f, err := os.Open(rawPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = twpp.StreamCompact(f, discard{}, twpp.CompactOptions{Workers: 1})
+			return err
+		})
+		b.ReportMetric(float64(peak), "peak-heap-bytes")
+	})
 }

@@ -142,7 +142,15 @@ func run(scale float64, dir string, table, figure, maxFuncs, workers int, jsonOu
 		bench.Summary(out, results, timings)
 	}
 	if jsonOut != "" {
-		rep := bench.BuildJSONReport(scale, workers, results, timings)
+		var mems []*bench.MemoryStats
+		for _, r := range results {
+			m, err := bench.MeasureMemory(r, workers)
+			if err != nil {
+				return err
+			}
+			mems = append(mems, m)
+		}
+		rep := bench.BuildJSONReport(scale, workers, results, timings, mems)
 		if err := rep.WriteJSON(jsonOut); err != nil {
 			return err
 		}

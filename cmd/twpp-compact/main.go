@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	twpp-compact -in trace.wpp [-o trace.twpp] [-j workers] [-sequitur trace.seq]
+//	twpp-compact -in trace.wpp [-o trace.twpp] [-j workers] [-stream] [-sequitur trace.seq]
 package main
 
 import (
@@ -22,33 +22,52 @@ func main() {
 		out     = flag.String("o", "", "output compacted TWPP file (default: input with .twpp)")
 		seq     = flag.String("sequitur", "", "also write the Sequitur-compressed baseline here")
 		workers = flag.Int("j", 0, "compaction worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		stream  = flag.Bool("stream", false, "streaming pipeline: bounded-memory ingestion, identical output")
 		verb    = flag.Bool("v", true, "print compaction statistics")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *seq, *workers, *verb); err != nil {
+	if err := run(*in, *out, *seq, *workers, *stream, *verb); err != nil {
 		fmt.Fprintln(os.Stderr, "twpp-compact:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, seqPath string, workers int, verbose bool) error {
+func run(in, out, seqPath string, workers int, stream, verbose bool) error {
 	if in == "" {
 		return fmt.Errorf("missing -in")
 	}
 	if out == "" {
 		out = in + ".twpp"
 	}
-	w, err := twpp.ReadRawFile(in)
-	if err != nil {
-		return err
-	}
 	opts := twpp.CompactOptions{Workers: workers}
-	tw, stats := twpp.CompactOpts(w, opts)
-	if err := twpp.WriteFileOpts(out, tw, opts); err != nil {
-		return err
+	var (
+		stats         twpp.CompactStats
+		traceB, dictB int
+		w             *twpp.RawWPP
+	)
+	if stream {
+		if seqPath != "" {
+			return fmt.Errorf("-sequitur needs the whole WPP in memory; drop -stream")
+		}
+		res, err := twpp.StreamCompactFile(in, out, opts)
+		if err != nil {
+			return err
+		}
+		stats, traceB, dictB = res.Stats, res.TraceBytes, res.DictBytes
+	} else {
+		var err error
+		w, err = twpp.ReadRawFile(in)
+		if err != nil {
+			return err
+		}
+		tw, s := twpp.CompactOpts(w, opts)
+		if err := twpp.WriteFileOpts(out, tw, opts); err != nil {
+			return err
+		}
+		stats = s
+		traceB, dictB = tw.SizeStats()
 	}
 	if verbose {
-		traceB, dictB := tw.SizeStats()
 		fmt.Printf("raw traces:          %10d bytes\n", stats.RawTraceBytes)
 		fmt.Printf("after redundancy:    %10d bytes (x%.2f)\n", stats.AfterRedundancy,
 			float64(stats.RawTraceBytes)/float64(stats.AfterRedundancy))

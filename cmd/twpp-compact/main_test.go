@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -45,7 +46,7 @@ func TestRunCompacts(t *testing.T) {
 	in := writeTrace(t, dir)
 	out := filepath.Join(dir, "t.twpp")
 	seq := filepath.Join(dir, "t.seq")
-	if err := run(in, out, seq, 2, false); err != nil {
+	if err := run(in, out, seq, 2, false, false); err != nil {
 		t.Fatal(err)
 	}
 	cf, err := twpp.OpenFile(out)
@@ -67,10 +68,38 @@ func TestRunCompacts(t *testing.T) {
 	}
 }
 
+func TestRunStreamMatchesBatch(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTrace(t, dir)
+	batch := filepath.Join(dir, "batch.twpp")
+	stream := filepath.Join(dir, "stream.twpp")
+	if err := run(in, batch, "", 2, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, stream, "", 2, true, false); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := os.ReadFile(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, s) {
+		t.Error("-stream output differs from batch output")
+	}
+	// -stream refuses the in-memory-only Sequitur baseline.
+	if err := run(in, stream, filepath.Join(dir, "t.seq"), 1, true, false); err == nil {
+		t.Error("-stream with -sequitur: want error")
+	}
+}
+
 func TestRunDefaultOutputName(t *testing.T) {
 	dir := t.TempDir()
 	in := writeTrace(t, dir)
-	if err := run(in, "", "", 1, false); err != nil {
+	if err := run(in, "", "", 1, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(in + ".twpp"); err != nil {
@@ -79,10 +108,10 @@ func TestRunDefaultOutputName(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", 1, false); err == nil {
+	if err := run("", "", "", 1, false, false); err == nil {
 		t.Error("missing input: want error")
 	}
-	if err := run("/nonexistent/file.wpp", "", "", 1, false); err == nil {
+	if err := run("/nonexistent/file.wpp", "", "", 1, false, false); err == nil {
 		t.Error("absent input: want error")
 	}
 }

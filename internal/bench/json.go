@@ -47,11 +47,21 @@ type JSONProfile struct {
 	ScanAvgNs             int64   `json:"scan_avg_ns,omitempty"`
 	ScanMaxNs             int64   `json:"scan_max_ns,omitempty"`
 	ExtractSpeedupOverRaw float64 `json:"extract_speedup_over_raw,omitempty"`
+
+	// Pipeline memory footprint (bytes above baseline / heap objects),
+	// batch vs streaming over the same raw file; zero when memory
+	// measurement was not run.
+	PeakHeapBytes       uint64  `json:"peak_heap_bytes,omitempty"`
+	AllocsPerOp         uint64  `json:"allocs_per_op,omitempty"`
+	StreamPeakHeapBytes uint64  `json:"stream_peak_heap_bytes,omitempty"`
+	StreamAllocsPerOp   uint64  `json:"stream_allocs_per_op,omitempty"`
+	StreamHeapRatio     float64 `json:"stream_heap_ratio,omitempty"`
 }
 
 // BuildJSONReport assembles the report from run results and optional
-// extraction timings (timings may be nil or shorter than results).
-func BuildJSONReport(scale float64, workers int, results []*Result, timings []*ExtractTiming) *JSONReport {
+// extraction timings and memory measurements (either slice may be nil
+// or shorter than results).
+func BuildJSONReport(scale float64, workers int, results []*Result, timings []*ExtractTiming, mems []*MemoryStats) *JSONReport {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -77,6 +87,14 @@ func BuildJSONReport(scale float64, workers int, results []*Result, timings []*E
 			p.ScanAvgNs = t.AvgUncompacted.Nanoseconds()
 			p.ScanMaxNs = t.MaxUncompacted.Nanoseconds()
 			p.ExtractSpeedupOverRaw = t.Speedup()
+		}
+		if i < len(mems) && mems[i] != nil {
+			m := mems[i]
+			p.PeakHeapBytes = m.BatchPeakHeap
+			p.AllocsPerOp = m.BatchAllocs
+			p.StreamPeakHeapBytes = m.StreamPeakHeap
+			p.StreamAllocsPerOp = m.StreamAllocs
+			p.StreamHeapRatio = m.Ratio()
 		}
 		rep.Profiles = append(rep.Profiles, p)
 	}

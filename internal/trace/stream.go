@@ -1,0 +1,109 @@
+// Streaming event plumbing: the WPP is, at its most primitive, a
+// stream of ENTER/block/EXIT events. EventSink is the consumer-side
+// contract of that stream, Demux validates and routes a linear symbol
+// stream into a sink without materializing it, and Replay regenerates
+// the event stream from an in-memory WPP — so any sink can be driven
+// either from a file or from a tree.
+package trace
+
+import (
+	"fmt"
+
+	"twpp/internal/cfg"
+	"twpp/internal/sequitur"
+)
+
+// EventSink consumes trace events in execution order. Builder
+// implements it (assembling an in-memory RawWPP), as does
+// wpp.StreamCompactor (compacting online without ever holding the full
+// WPP).
+type EventSink interface {
+	// EnterCall records the start of an invocation of f.
+	EnterCall(f cfg.FuncID)
+	// Block records execution of block id in the current invocation.
+	Block(id cfg.BlockID)
+	// ExitCall records the return of the current invocation.
+	ExitCall()
+}
+
+// Demux validates a linear WPP symbol stream (the vocabulary of
+// RawWPP.Linear: sequitur.EnterMarker(f), block ids,
+// sequitur.ExitMarker) and routes each symbol to a sink as a typed
+// event. It enforces the structural invariants a well-formed WPP
+// stream satisfies — balanced ENTER/EXIT, blocks only inside calls,
+// exactly one root call — returning errors where Builder, which trusts
+// its (programmatic) caller, would panic. The zero Demux with a Sink
+// set is ready to use.
+type Demux struct {
+	Sink EventSink
+
+	depth  int
+	pos    int
+	rooted bool
+}
+
+// Feed routes one symbol. On error the sink has not seen the offending
+// symbol and the stream should be abandoned.
+func (d *Demux) Feed(sym uint32) error {
+	switch {
+	case sym == sequitur.ExitMarker:
+		if d.depth == 0 {
+			return fmt.Errorf("trace: EXIT at position %d with empty stack", d.pos)
+		}
+		d.Sink.ExitCall()
+		d.depth--
+	default:
+		if f, ok := sequitur.IsEnter(sym); ok {
+			if d.depth == 0 && d.rooted {
+				return fmt.Errorf("trace: second root call at position %d", d.pos)
+			}
+			d.Sink.EnterCall(cfg.FuncID(f))
+			d.depth++
+			d.rooted = true
+		} else {
+			if d.depth == 0 {
+				return fmt.Errorf("trace: block %d at position %d outside any call", sym, d.pos)
+			}
+			d.Sink.Block(cfg.BlockID(sym))
+		}
+	}
+	d.pos++
+	return nil
+}
+
+// Close checks end-of-stream invariants: every call closed and a root
+// call present.
+func (d *Demux) Close() error {
+	if d.depth != 0 {
+		return fmt.Errorf("trace: %d unclosed calls", d.depth)
+	}
+	if !d.rooted {
+		return fmt.Errorf("trace: empty symbol stream (no calls)")
+	}
+	return nil
+}
+
+// Replay regenerates the WPP's event stream in execution order,
+// interleaving each callee's events at its recorded call position —
+// the event-level equivalent of Linear.
+func (w *RawWPP) Replay(sink EventSink) {
+	var rec func(n *CallNode)
+	rec = func(n *CallNode) {
+		sink.EnterCall(n.Fn)
+		tr := w.Traces[n.Trace]
+		child := 0
+		for i := 0; i <= len(tr); i++ {
+			for child < len(n.Children) && n.ChildPos[child] == i {
+				rec(n.Children[child])
+				child++
+			}
+			if i < len(tr) {
+				sink.Block(tr[i])
+			}
+		}
+		sink.ExitCall()
+	}
+	if w.Root != nil {
+		rec(w.Root)
+	}
+}

@@ -134,61 +134,40 @@ func (w *RawWPP) Walk(fn func(*CallNode)) {
 	}
 }
 
+// symbolCollector is the EventSink that rebuilds the linear symbol
+// stream.
+type symbolCollector struct{ out []uint32 }
+
+func (s *symbolCollector) EnterCall(f cfg.FuncID) {
+	s.out = append(s.out, sequitur.EnterMarker(int(f)))
+}
+func (s *symbolCollector) Block(id cfg.BlockID) { s.out = append(s.out, uint32(id)) }
+func (s *symbolCollector) ExitCall()            { s.out = append(s.out, sequitur.ExitMarker) }
+
 // Linear flattens the WPP into the single interleaved symbol stream of
 // Figure 1, in the symbol vocabulary shared with the Sequitur baseline:
 // sequitur.EnterMarker(f), block ids, sequitur.ExitMarker.
 func (w *RawWPP) Linear() []uint32 {
-	var out []uint32
-	var rec func(n *CallNode)
-	rec = func(n *CallNode) {
-		out = append(out, sequitur.EnterMarker(int(n.Fn)))
-		tr := w.Traces[n.Trace]
-		child := 0
-		for i := 0; i <= len(tr); i++ {
-			for child < len(n.Children) && n.ChildPos[child] == i {
-				rec(n.Children[child])
-				child++
-			}
-			if i < len(tr) {
-				out = append(out, uint32(tr[i]))
-			}
-		}
-		out = append(out, sequitur.ExitMarker)
-	}
-	if w.Root != nil {
-		rec(w.Root)
-	}
-	return out
+	c := &symbolCollector{}
+	w.Replay(c)
+	return c.out
 }
 
 // FromLinear parses a linear WPP symbol stream back into the
 // DCG-plus-traces form; it is the inverse of Linear and is used both by
-// the uncompacted file reader and by round-trip tests.
+// the uncompacted file reader and by round-trip tests. Malformed
+// streams — unbalanced calls, blocks outside any call, multiple or
+// missing root calls — are reported as errors.
 func FromLinear(stream []uint32, funcNames []string) (*RawWPP, error) {
 	b := NewBuilder(funcNames)
-	depth := 0
-	for i, sym := range stream {
-		switch {
-		case sym == sequitur.ExitMarker:
-			if depth == 0 {
-				return nil, fmt.Errorf("trace: EXIT at position %d with empty stack", i)
-			}
-			b.ExitCall()
-			depth--
-		default:
-			if f, ok := sequitur.IsEnter(sym); ok {
-				b.EnterCall(cfg.FuncID(f))
-				depth++
-			} else {
-				if depth == 0 {
-					return nil, fmt.Errorf("trace: block %d at position %d outside any call", sym, i)
-				}
-				b.Block(cfg.BlockID(sym))
-			}
+	d := &Demux{Sink: b}
+	for _, sym := range stream {
+		if err := d.Feed(sym); err != nil {
+			return nil, err
 		}
 	}
-	if depth != 0 {
-		return nil, fmt.Errorf("trace: %d unclosed calls", depth)
+	if err := d.Close(); err != nil {
+		return nil, err
 	}
 	return b.Finish(), nil
 }

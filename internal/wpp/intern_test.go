@@ -1,0 +1,59 @@
+package wpp
+
+import "testing"
+
+// TestInternerCollision forces distinct traces into the same hash
+// bucket and checks the verified-equality lookup keeps them apart:
+// collisions may share a bucket but can never merge distinct contents
+// or split duplicates.
+func TestInternerCollision(t *testing.T) {
+	a := PathTrace{1, 2, 3}
+	b := PathTrace{4, 5, 6}
+	store := []PathTrace{}
+	in := newInterner()
+	const h = 0xdeadbeef // same forced hash for every insert
+
+	add := func(tr PathTrace) int {
+		idx, ok := in.lookup(h, func(i int) bool { return tracesEqual(store[i], tr) })
+		if !ok {
+			idx = len(store)
+			store = append(store, tr)
+			in.insert(h, idx)
+		}
+		return idx
+	}
+
+	ia := add(a)
+	ib := add(b)
+	if ia == ib {
+		t.Fatalf("colliding distinct traces merged: both got index %d", ia)
+	}
+	if got := add(append(PathTrace(nil), a...)); got != ia {
+		t.Errorf("duplicate of a interned at %d, want %d", got, ia)
+	}
+	if got := add(append(PathTrace(nil), b...)); got != ib {
+		t.Errorf("duplicate of b interned at %d, want %d", got, ib)
+	}
+	if len(store) != 2 {
+		t.Errorf("store holds %d traces, want 2", len(store))
+	}
+}
+
+// TestHashTraceBasics pins hash properties the interner relies on:
+// content determines the hash, nil and empty agree, and prefixes
+// differ from their extensions.
+func TestHashTraceBasics(t *testing.T) {
+	if hashTrace(nil) != hashTrace(PathTrace{}) {
+		t.Error("nil and empty trace hash differently")
+	}
+	a := PathTrace{1, 2, 2, 2, 10}
+	if hashTrace(a) != hashTrace(append(PathTrace(nil), a...)) {
+		t.Error("equal contents hash differently")
+	}
+	if hashTrace(a) == hashTrace(a[:4]) {
+		t.Error("prefix shares hash with full trace")
+	}
+	if tracesEqual(a, a[:4]) {
+		t.Error("prefix compares equal to full trace")
+	}
+}

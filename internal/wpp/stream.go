@@ -1,0 +1,258 @@
+package wpp
+
+import (
+	"fmt"
+	"sort"
+
+	"twpp/internal/cfg"
+)
+
+// StreamCompactor performs the paper's first three compaction
+// transformations online, one trace event at a time, without ever
+// holding the full WPP: each call's path trace is buffered only while
+// the call is open, and on exit it is interned against the function's
+// unique traces (hash + verified equality) and either discarded as
+// redundant or DBB-compacted on the spot. Peak memory is
+// O(unique traces + open call stack + DCG) instead of O(trace).
+//
+// It implements trace.EventSink, so it can be driven from a live
+// tracer, from trace.RawWPP.Replay, or — the production path — from a
+// raw WPP file streamed through wppfile. Like trace.Builder it panics
+// on events that violate call nesting; feed untrusted streams through
+// trace.Demux, which turns those violations into errors before the
+// sink sees them.
+//
+// Finish produces a Compacted and Stats identical (deeply, and hence
+// byte-identically once encoded) to CompactWorkers on the same event
+// stream. The one ordering wrinkle: the batch path interns traces in
+// preorder (a call's trace is seen at entry, parent before children),
+// while a streaming compactor only knows a call's trace at exit
+// (children before parent). Each unique trace therefore records the
+// earliest EnterCall sequence number among the calls that produced it,
+// and Finish sorts unique traces into that first-entry order —
+// restoring the documented first-occurrence order — then rewrites the
+// provisional DCG indices.
+type StreamCompactor struct {
+	// OnTrace, when non-nil, is invoked synchronously each time a new
+	// unique trace is interned, with the owning function, the
+	// provisional unique-trace index (sequential per function, in
+	// intern order), the dictionary-compacted trace, and the original
+	// (pre-dictionary) length. Downstream stages hook here to process
+	// each unique trace exactly once, incrementally; after Finish,
+	// TraceRemap converts provisional indices to final ones.
+	OnTrace func(fn cfg.FuncID, provIdx int, compacted PathTrace, origLen int)
+
+	funcNames []string
+	funcs     []streamFunc
+	stack     []streamFrame
+	root      *CallNode
+	seq       int // EnterCall counter: global first-occurrence clock
+	blocks    int
+	calls     int
+	// spare recycles block buffers of calls whose traces proved
+	// redundant — the overwhelmingly common case (Figure 8) — so
+	// steady-state ingestion allocates only on new unique traces.
+	spare    []PathTrace
+	remap    [][]int
+	finished bool
+}
+
+// uniqueTrace is one interned unique trace: the original block
+// sequence (kept for verified-equality lookups), its DBB-compacted
+// form and dictionary, and the earliest EnterCall sequence that
+// produced it.
+type uniqueTrace struct {
+	orig     PathTrace
+	comp     PathTrace
+	dict     Dictionary
+	firstSeq int
+}
+
+// streamFunc is the per-function intern state.
+type streamFunc struct {
+	in        *interner
+	uniq      []uniqueTrace
+	callCount int
+}
+
+// streamFrame is one open call: its DCG node, the trace buffered so
+// far, and its EnterCall sequence number.
+type streamFrame struct {
+	node *CallNode
+	tr   PathTrace
+	seq  int
+}
+
+// NewStreamCompactor returns a compactor for a program with the given
+// function names (they become Compacted.FuncNames; functions beyond
+// the name table may still appear in the stream).
+func NewStreamCompactor(funcNames []string) *StreamCompactor {
+	return &StreamCompactor{funcNames: funcNames}
+}
+
+// EnterCall records the start of an invocation of f.
+func (s *StreamCompactor) EnterCall(f cfg.FuncID) {
+	for int(f) >= len(s.funcs) {
+		s.funcs = append(s.funcs, streamFunc{in: newInterner()})
+	}
+	n := &CallNode{Fn: f}
+	if len(s.stack) == 0 {
+		if s.root != nil {
+			panic("wpp: multiple root calls in event stream")
+		}
+		s.root = n
+	} else {
+		p := &s.stack[len(s.stack)-1]
+		p.node.Children = append(p.node.Children, n)
+		p.node.ChildPos = append(p.node.ChildPos, len(p.tr))
+	}
+	var tr PathTrace
+	if k := len(s.spare); k > 0 {
+		tr = s.spare[k-1][:0]
+		s.spare = s.spare[:k-1]
+	}
+	s.stack = append(s.stack, streamFrame{node: n, tr: tr, seq: s.seq})
+	s.seq++
+}
+
+// Block records execution of block id in the current invocation.
+func (s *StreamCompactor) Block(id cfg.BlockID) {
+	if len(s.stack) == 0 {
+		panic("wpp: block event outside any call")
+	}
+	fr := &s.stack[len(s.stack)-1]
+	fr.tr = append(fr.tr, id)
+	s.blocks++
+}
+
+// ExitCall completes the current invocation: its trace is interned
+// against the function's unique traces and, when new, DBB-compacted
+// immediately (and announced via OnTrace).
+func (s *StreamCompactor) ExitCall() {
+	if len(s.stack) == 0 {
+		panic("wpp: exit event outside any call")
+	}
+	fr := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	fs := &s.funcs[fr.node.Fn]
+	h := hashTrace(fr.tr)
+	idx, ok := fs.in.lookup(h, func(i int) bool { return tracesEqual(fs.uniq[i].orig, fr.tr) })
+	if !ok {
+		idx = len(fs.uniq)
+		comp, dict := compactTrace(fr.tr)
+		fs.uniq = append(fs.uniq, uniqueTrace{orig: fr.tr, comp: comp, dict: dict, firstSeq: fr.seq})
+		fs.in.insert(h, idx)
+		if s.OnTrace != nil {
+			s.OnTrace(fr.node.Fn, idx, comp, len(fr.tr))
+		}
+	} else {
+		if fr.seq < fs.uniq[idx].firstSeq {
+			fs.uniq[idx].firstSeq = fr.seq
+		}
+		if cap(fr.tr) > 0 {
+			s.spare = append(s.spare, fr.tr)
+		}
+	}
+	fr.node.TraceIdx = idx
+	fs.callCount++
+	s.calls++
+}
+
+// Finish seals the stream and assembles the Compacted: unique traces
+// are ordered by first occurrence, dictionaries deduplicated in that
+// order, provisional DCG indices rewritten, and stats accumulated —
+// all exactly as the batch path would have produced them.
+func (s *StreamCompactor) Finish() (*Compacted, Stats, error) {
+	if s.finished {
+		return nil, Stats{}, fmt.Errorf("wpp: StreamCompactor already finished")
+	}
+	if len(s.stack) != 0 {
+		return nil, Stats{}, fmt.Errorf("wpp: event stream ended with %d unclosed calls", len(s.stack))
+	}
+	if s.root == nil {
+		return nil, Stats{}, fmt.Errorf("wpp: event stream contained no calls")
+	}
+	s.finished = true
+
+	numFuncs := len(s.funcNames)
+	if len(s.funcs) > numFuncs {
+		numFuncs = len(s.funcs)
+	}
+	c := &Compacted{
+		FuncNames: s.funcNames,
+		Root:      s.root,
+		Funcs:     make([]FunctionTraces, numFuncs),
+	}
+	for f := range c.Funcs {
+		c.Funcs[f].Fn = cfg.FuncID(f)
+	}
+
+	var stats Stats
+	stats.RawTraceBytes = 4 * s.blocks
+	stats.Calls = s.calls
+
+	s.remap = make([][]int, numFuncs)
+	for f := range s.funcs {
+		fs := &s.funcs[f]
+		ft := &c.Funcs[f]
+		ft.CallCount = fs.callCount
+		n := len(fs.uniq)
+		if n == 0 {
+			continue
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return fs.uniq[order[i]].firstSeq < fs.uniq[order[j]].firstSeq
+		})
+		remap := make([]int, n)
+		for final, prov := range order {
+			remap[prov] = final
+		}
+		s.remap[f] = remap
+
+		ft.Traces = make([]PathTrace, 0, n)
+		ft.OrigLen = make([]int, 0, n)
+		ft.DictOf = make([]int, 0, n)
+		dictSeen := newInterner()
+		for _, prov := range order {
+			u := &fs.uniq[prov]
+			dh := hashDict(u.dict)
+			di, ok := dictSeen.lookup(dh, func(i int) bool { return dictsEqual(ft.Dicts[i], u.dict) })
+			if !ok {
+				di = len(ft.Dicts)
+				dictSeen.insert(dh, di)
+				ft.Dicts = append(ft.Dicts, u.dict)
+			}
+			ft.Traces = append(ft.Traces, u.comp)
+			ft.OrigLen = append(ft.OrigLen, len(u.orig))
+			ft.DictOf = append(ft.DictOf, di)
+			stats.AfterRedundancy += 4 * len(u.orig)
+			stats.UniqueTraces++
+		}
+		for _, tr := range ft.Traces {
+			stats.AfterDictionary += 4 * len(tr)
+		}
+		for _, d := range ft.Dicts {
+			stats.DictionaryBytes += 4 * d.Words()
+		}
+	}
+	stats.AfterDictionary += stats.DictionaryBytes
+
+	var rewrite func(n *CallNode)
+	rewrite = func(n *CallNode) {
+		n.TraceIdx = s.remap[n.Fn][n.TraceIdx]
+		for _, ch := range n.Children {
+			rewrite(ch)
+		}
+	}
+	rewrite(s.root)
+	return c, stats, nil
+}
+
+// TraceRemap returns, for each function, the mapping from provisional
+// unique-trace indices (the order OnTrace reported) to final indices
+// in the Compacted. It is only valid after Finish.
+func (s *StreamCompactor) TraceRemap() [][]int { return s.remap }

@@ -18,7 +18,6 @@ package wpp
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"twpp/internal/cfg"
@@ -26,41 +25,16 @@ import (
 )
 
 // PathTrace is a block id sequence: either an original per-call trace
-// or a dictionary-compacted one.
+// or a dictionary-compacted one. Dedup of traces and dictionaries is
+// by 64-bit content hash with verified equality (see intern.go); the
+// earlier string-key scheme allocated per call and was the pipeline's
+// hottest allocation.
 type PathTrace []cfg.BlockID
-
-// key returns a map key identifying the trace contents.
-func (t PathTrace) key() string {
-	b := make([]byte, 0, len(t)*4)
-	for _, id := range t {
-		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-	}
-	return string(b)
-}
 
 // Dictionary maps a dynamic-basic-block head to the full chain of
 // static block ids it replaces (chains always have length >= 2; heads
 // not present expand to themselves).
 type Dictionary map[cfg.BlockID]PathTrace
-
-// key returns a map key identifying the dictionary contents.
-func (d Dictionary) key() string {
-	heads := make([]cfg.BlockID, 0, len(d))
-	for h := range d {
-		heads = append(heads, h)
-	}
-	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
-	var b []byte
-	for _, h := range heads {
-		b = append(b, byte(h), byte(h>>8), byte(h>>16), byte(h>>24))
-		chain := d[h]
-		b = append(b, byte(len(chain)), byte(len(chain)>>8), byte(len(chain)>>16), byte(len(chain)>>24))
-		for _, id := range chain {
-			b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-		}
-	}
-	return string(b)
-}
 
 // Words reports the dictionary's size in 32-bit words (head + length +
 // chain entries per chain), the unit the paper's tables use.
@@ -182,23 +156,23 @@ func CompactWorkers(w *trace.RawWPP, workers int) (*Compacted, Stats) {
 	stats.RawTraceBytes = 4 * w.NumBlocks()
 
 	// Stage 1+2: partition per function and deduplicate original
-	// traces. seen[f] maps original trace key -> unique index (in a
-	// per-function intermediate list of original traces).
-	seen := make([]map[string]int, numFuncs)
+	// traces. seen[f] interns trace contents by hash; unique indices
+	// point into a per-function intermediate list of original traces.
+	seen := make([]*interner, numFuncs)
 	orig := make([][]PathTrace, numFuncs)
 	for f := range seen {
-		seen[f] = make(map[string]int)
+		seen[f] = newInterner()
 	}
 
 	var build func(n *trace.CallNode) *CallNode
 	build = func(n *trace.CallNode) *CallNode {
 		f := int(n.Fn)
 		tr := PathTrace(w.Traces[n.Trace])
-		k := tr.key()
-		idx, ok := seen[f][k]
+		h := hashTrace(tr)
+		idx, ok := seen[f].lookup(h, func(i int) bool { return tracesEqual(orig[f][i], tr) })
 		if !ok {
 			idx = len(orig[f])
-			seen[f][k] = idx
+			seen[f].insert(h, idx)
 			orig[f] = append(orig[f], tr)
 		}
 		cn := &CallNode{Fn: n.Fn, TraceIdx: idx}
@@ -225,15 +199,15 @@ func CompactWorkers(w *trace.RawWPP, workers int) (*Compacted, Stats) {
 	compactFunc := func(f int) {
 		ft := &c.Funcs[f]
 		ps := &partial[f]
-		dictSeen := make(map[string]int)
+		dictSeen := newInterner()
 		for _, tr := range orig[f] {
 			ps.AfterRedundancy += 4 * len(tr)
 			compacted, dict := compactTrace(tr)
-			dk := dict.key()
-			di, ok := dictSeen[dk]
+			dh := hashDict(dict)
+			di, ok := dictSeen.lookup(dh, func(i int) bool { return dictsEqual(ft.Dicts[i], dict) })
 			if !ok {
 				di = len(ft.Dicts)
-				dictSeen[dk] = di
+				dictSeen.insert(dh, di)
 				ft.Dicts = append(ft.Dicts, dict)
 			}
 			ft.Traces = append(ft.Traces, compacted)

@@ -308,15 +308,18 @@ func TestUniqueTraceDistribution(t *testing.T) {
 	}
 }
 
-func TestDictionaryWordsAndKeys(t *testing.T) {
+func TestDictionaryWordsAndIdentity(t *testing.T) {
 	d1 := Dictionary{2: PathTrace{2, 7, 8, 9}}
 	d2 := Dictionary{2: PathTrace{2, 7, 8, 9}}
 	d3 := Dictionary{2: PathTrace{2, 3, 4, 5}}
-	if d1.key() != d2.key() {
-		t.Error("equal dictionaries have different keys")
+	if hashDict(d1) != hashDict(d2) || !dictsEqual(d1, d2) {
+		t.Error("equal dictionaries have different identities")
 	}
-	if d1.key() == d3.key() {
-		t.Error("different dictionaries share a key")
+	if dictsEqual(d1, d3) {
+		t.Error("different dictionaries compare equal")
+	}
+	if hashDict(d1) == hashDict(d3) {
+		t.Error("different dictionaries share a hash (FNV collision in a 4-word input)")
 	}
 	if d1.Words() != 6 { // head + len + 4 chain ids
 		t.Errorf("Words = %d, want 6", d1.Words())

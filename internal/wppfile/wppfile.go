@@ -39,8 +39,8 @@ const (
 // Uncompacted format.
 // ---------------------------------------------------------------------
 
-// WriteRaw serializes a raw WPP as the uncompacted linear format.
-func WriteRaw(path string, w *trace.RawWPP) error {
+// EncodeRaw produces the uncompacted linear file image in memory.
+func EncodeRaw(w *trace.RawWPP) []byte {
 	buf := encoding.PutUint32(nil, MagicRaw)
 	buf = encoding.PutUvarint(buf, Version)
 	buf = encoding.PutUvarint(buf, uint64(len(w.FuncNames)))
@@ -50,32 +50,47 @@ func WriteRaw(path string, w *trace.RawWPP) error {
 	for _, sym := range w.Linear() {
 		buf = encoding.PutUvarint(buf, uint64(sym))
 	}
-	return os.WriteFile(path, buf, 0o644)
+	return buf
 }
 
-// ReadRaw parses an uncompacted WPP file in full.
+// WriteRaw serializes a raw WPP as the uncompacted linear format.
+func WriteRaw(path string, w *trace.RawWPP) error {
+	return os.WriteFile(path, EncodeRaw(w), 0o644)
+}
+
+// ReadRaw parses an uncompacted WPP file, streaming it through a
+// bounded buffer rather than loading it whole.
 func ReadRaw(path string) (*trace.RawWPP, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	c := encoding.NewCursor(data)
-	names, err := readRawHeader(c)
+	defer f.Close()
+	st, err := f.Stat()
 	if err != nil {
 		return nil, err
 	}
-	var stream []uint32
-	for !c.Done() {
-		sym, err := c.Uvarint()
-		if err != nil {
-			return nil, err
-		}
-		stream = append(stream, uint32(sym))
+	rr, err := NewRawStreamReader(f, st.Size())
+	if err != nil {
+		return nil, err
 	}
-	return trace.FromLinear(stream, names)
+	b := trace.NewBuilder(rr.Names())
+	if err := rr.Replay(b); err != nil {
+		return nil, err
+	}
+	return b.Finish(), nil
 }
 
-func readRawHeader(c *encoding.Cursor) ([]string, error) {
+// rawHeaderCursor is the cursor subset the raw header decoder needs;
+// both encoding.Cursor and encoding.StreamCursor satisfy it.
+type rawHeaderCursor interface {
+	Uint32() (uint32, error)
+	Uvarint() (uint64, error)
+	String() (string, error)
+	Len() int
+}
+
+func readRawHeader(c rawHeaderCursor) ([]string, error) {
 	magic, err := c.Uint32()
 	if err != nil {
 		return nil, err
@@ -97,24 +112,40 @@ func readRawHeader(c *encoding.Cursor) ([]string, error) {
 	if nf > uint64(c.Len()) {
 		return nil, fmt.Errorf("wppfile: function count %d exceeds file size", nf)
 	}
-	names := make([]string, nf)
-	for i := range names {
-		if names[i], err = c.String(); err != nil {
+	// Grow incrementally with a capped initial capacity: a corrupt
+	// count from a size-unknown stream then fails on a truncated read
+	// instead of a giant allocation.
+	capHint := int(nf)
+	if capHint > 1<<12 {
+		capHint = 1 << 12
+	}
+	names := make([]string, 0, capHint)
+	for i := uint64(0); i < nf; i++ {
+		s, err := c.String()
+		if err != nil {
 			return nil, err
 		}
+		names = append(names, s)
 	}
 	return names, nil
 }
 
 // ScanRawForFunction extracts every path trace of function fn from an
 // uncompacted WPP file. As in the paper, this must scan the whole
-// file — it is the slow baseline of Table 4.
+// file — it is the slow baseline of Table 4 — but the scan streams
+// through a bounded buffer, holding only the open-call stack and the
+// target function's traces.
 func ScanRawForFunction(path string, fn cfg.FuncID) ([]wpp.PathTrace, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	c := encoding.NewCursor(data)
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	c := encoding.NewStreamCursor(f, st.Size())
 	if _, err := readRawHeader(c); err != nil {
 		return nil, err
 	}
@@ -205,19 +236,7 @@ var encodeBufPool = sync.Pool{New: func() any { return new([]byte) }}
 func EncodeCompactedWorkers(t *core.TWPP, workers int) ([]byte, error) {
 	// Per-function blocks, hottest function first (the paper stores
 	// the most frequently called function's traces first).
-	order := make([]cfg.FuncID, 0, len(t.Funcs))
-	for f := range t.Funcs {
-		if t.Funcs[f].CallCount > 0 {
-			order = append(order, cfg.FuncID(f))
-		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := &t.Funcs[order[i]], &t.Funcs[order[j]]
-		if a.CallCount != b.CallCount {
-			return a.CallCount > b.CallCount
-		}
-		return order[i] < order[j]
-	})
+	order := hotOrder(t)
 
 	// Encode each function's block into its own pooled buffer,
 	// concurrently when workers allow. Blocks only ever append to
@@ -227,33 +246,11 @@ func EncodeCompactedWorkers(t *core.TWPP, workers int) ([]byte, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	parts := make([]*[]byte, len(order))
-	encode := func(i int) {
+	runJobs(len(order), workers, func(i int) {
 		bp := encodeBufPool.Get().(*[]byte)
 		*bp = encodeFunctionBlock((*bp)[:0], &t.Funcs[order[i]])
 		parts[i] = bp
-	}
-	if workers == 1 || len(order) <= 1 {
-		for i := range order {
-			encode(i)
-		}
-	} else {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					encode(i)
-				}
-			}()
-		}
-		for i := range order {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-	}
+	})
 
 	// Assemble the blocks section and its index sequentially in
 	// hotness order, returning buffers to the pool as they are
@@ -280,20 +277,7 @@ func EncodeCompactedWorkers(t *core.TWPP, workers int) ([]byte, error) {
 	dcg := lzw.Compress(encodeDCG(t.Root))
 
 	// Assemble: header, names, index, DCG, blocks.
-	buf := encoding.PutUint32(nil, MagicCompacted)
-	buf = encoding.PutUvarint(buf, Version)
-	buf = encoding.PutUvarint(buf, uint64(len(t.FuncNames)))
-	for _, n := range t.FuncNames {
-		buf = encoding.PutString(buf, n)
-	}
-	buf = encoding.PutUvarint(buf, uint64(len(index)))
-	for _, e := range index {
-		buf = encoding.PutUvarint(buf, uint64(e.Fn))
-		buf = encoding.PutUvarint(buf, uint64(e.CallCount))
-		buf = encoding.PutUvarint(buf, uint64(e.Offset))
-		buf = encoding.PutUvarint(buf, uint64(e.Length))
-	}
-	buf = encoding.PutUvarint(buf, uint64(len(dcg)))
+	buf := appendCompactedHeader(nil, t, index, len(dcg))
 	buf = append(buf, dcg...)
 	buf = append(buf, blocks...)
 	return buf, nil

@@ -1,0 +1,110 @@
+package twpp
+
+import (
+	"bufio"
+	"io"
+	"os"
+
+	"twpp/internal/core"
+	"twpp/internal/wppfile"
+)
+
+// StreamResult reports what a streaming compaction produced.
+type StreamResult struct {
+	// Stats carries the per-stage compaction sizes (Table 2 data),
+	// identical to what CompactOpts reports for the same trace.
+	Stats CompactStats
+	// TraceBytes and DictBytes are the in-memory TWPP section sizes
+	// (TWPP.SizeStats of the compacted result).
+	TraceBytes int
+	DictBytes  int
+	// BytesWritten is the size of the emitted compacted file.
+	BytesWritten int64
+}
+
+// StreamCompact reads a raw WPP stream from r and writes the compacted
+// indexed format to w, running the whole pipeline online: the input is
+// consumed through a bounded buffer, each call's path trace is deduped
+// by hash the moment the call returns, and the timestamp inversion
+// runs once per unique trace as it is interned. Peak memory is
+// O(unique traces + open call stack + dynamic call graph), not
+// O(trace length).
+//
+// The bytes written are identical to ReadRawFile + CompactOpts +
+// WriteFileOpts on the same input, at any opts.Workers value, and
+// malformed input fails with the same errors as ReadRawFile.
+func StreamCompact(r io.Reader, w io.Writer, opts CompactOptions) (*StreamResult, error) {
+	rr, err := wppfile.NewRawStreamReader(r, streamSize(r))
+	if err != nil {
+		return nil, err
+	}
+	s := core.NewStreamCompactor(rr.Names())
+	if err := rr.Replay(s); err != nil {
+		return nil, err
+	}
+	tw, stats, err := s.Finish()
+	if err != nil {
+		return nil, err
+	}
+	traceB, dictB := tw.SizeStats()
+	n, err := wppfile.EncodeCompactedTo(w, tw, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamResult{Stats: stats, TraceBytes: traceB, DictBytes: dictB, BytesWritten: n}, nil
+}
+
+// StreamCompactFile is StreamCompact over named files, buffering the
+// output writes.
+func StreamCompactFile(inPath, outPath string, opts CompactOptions) (*StreamResult, error) {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
+	res, err := StreamCompact(in, bw, opts)
+	if err != nil {
+		out.Close()
+		os.Remove(outPath)
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		out.Close()
+		os.Remove(outPath)
+		return nil, err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(outPath)
+		return nil, err
+	}
+	return res, nil
+}
+
+// streamSize recovers the total stream size when r can report it
+// (files and byte readers), so corrupt length fields fail with the
+// same errors as the whole-file reader; -1 means unknown.
+func streamSize(r io.Reader) int64 {
+	switch v := r.(type) {
+	case io.Seeker:
+		cur, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return -1
+		}
+		end, err := v.Seek(0, io.SeekEnd)
+		if err != nil {
+			return -1
+		}
+		if _, err := v.Seek(cur, io.SeekStart); err != nil {
+			return -1
+		}
+		return end - cur
+	case interface{ Len() int }:
+		return int64(v.Len())
+	}
+	return -1
+}

@@ -1,0 +1,200 @@
+// Tests pinning the streaming pipeline (StreamCompact) to the batch
+// pipeline: byte-identical compacted output on every profile at every
+// worker count, identical errors on malformed input, and a fuzz
+// target over random WPP shapes.
+package twpp_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twpp"
+	"twpp/internal/bench"
+	"twpp/internal/wppfile"
+)
+
+// streamPipeline runs StreamCompact over an in-memory raw file image
+// and returns the emitted bytes and stats.
+func streamPipeline(tb testing.TB, raw []byte, workers int) ([]byte, twpp.CompactStats) {
+	tb.Helper()
+	var buf bytes.Buffer
+	res, err := twpp.StreamCompact(bytes.NewReader(raw), &buf, twpp.CompactOptions{Workers: workers})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if res.BytesWritten != int64(buf.Len()) {
+		tb.Fatalf("BytesWritten %d, buffer has %d", res.BytesWritten, buf.Len())
+	}
+	return buf.Bytes(), res.Stats
+}
+
+// TestStreamCompactMatchesBatch checks the streaming pipeline emits
+// byte-identical compacted files and identical stats on all five
+// SPECint-like profiles at several worker counts.
+func TestStreamCompactMatchesBatch(t *testing.T) {
+	for _, p := range bench.Profiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			w := buildWorkloadScale(t, p.Name, 0.02)
+			raw := wppfile.EncodeRaw(w)
+			want, wantStats := encodePipeline(t, w, 1)
+			for _, workers := range []int{1, 2, 8} {
+				got, gotStats := streamPipeline(t, raw, workers)
+				if gotStats != wantStats {
+					t.Errorf("workers=%d: stats %+v != batch %+v", workers, gotStats, wantStats)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("workers=%d: streamed file differs from batch (%d vs %d bytes)",
+						workers, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestStreamCompactErrorParity corrupts a raw file image — truncating
+// at every prefix length and flipping sampled bytes — and requires
+// StreamCompact to fail exactly as ReadRawFile does on the same bytes:
+// same nil-ness, same message.
+func TestStreamCompactErrorParity(t *testing.T) {
+	w := randWPP(rand.New(rand.NewSource(3)))
+	raw := wppfile.EncodeRaw(w)
+	if len(raw) > 8000 {
+		t.Fatalf("trace image too large for exhaustive sweep: %d bytes", len(raw))
+	}
+	dir := t.TempDir()
+	check := func(t *testing.T, data []byte) {
+		t.Helper()
+		path := filepath.Join(dir, "c.wpp")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, batchErr := twpp.ReadRawFile(path)
+		_, streamErr := twpp.StreamCompact(bytes.NewReader(data), io.Discard, twpp.CompactOptions{Workers: 1})
+		if (batchErr == nil) != (streamErr == nil) {
+			t.Fatalf("nil-ness diverges: batch %v, stream %v", batchErr, streamErr)
+		}
+		if batchErr != nil && batchErr.Error() != streamErr.Error() {
+			t.Fatalf("messages diverge:\n  batch:  %v\n  stream: %v", batchErr, streamErr)
+		}
+	}
+	t.Run("truncated", func(t *testing.T) {
+		for n := 0; n < len(raw); n++ {
+			check(t, raw[:n])
+		}
+	})
+	t.Run("bitflips", func(t *testing.T) {
+		for n := 0; n < len(raw); n += 7 {
+			data := append([]byte(nil), raw...)
+			data[n] ^= 0xff
+			check(t, data)
+		}
+	})
+	t.Run("overflow-varint", func(t *testing.T) {
+		// A symbol encoded as an 11-byte varint: overflow.
+		data := append([]byte(nil), raw...)
+		data = append(data, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)
+		check(t, data)
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		check(t, append(append([]byte(nil), raw...), 0x05))
+	})
+}
+
+// TestStreamCompactFile exercises the file-path variant: output equals
+// the in-memory variant, and a failed run leaves no partial file.
+func TestStreamCompactFile(t *testing.T) {
+	w := buildWorkloadScale(t, "132.ijpeg-like", 0.02)
+	raw := wppfile.EncodeRaw(w)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "t.wpp")
+	if err := os.WriteFile(in, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "t.twpp")
+	res, err := twpp.StreamCompactFile(in, out, twpp.CompactOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := streamPipeline(t, raw, 2)
+	if !bytes.Equal(data, want) {
+		t.Error("StreamCompactFile output differs from StreamCompact")
+	}
+	if res.BytesWritten != int64(len(data)) {
+		t.Errorf("BytesWritten %d, file has %d", res.BytesWritten, len(data))
+	}
+	// The compacted file opens and serves extractions.
+	cf, err := twpp.OpenFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if len(cf.Functions()) == 0 {
+		t.Error("no functions in streamed file")
+	}
+
+	// Failure leaves no partial output behind.
+	bad := filepath.Join(dir, "bad.wpp")
+	if err := os.WriteFile(bad, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gone := filepath.Join(dir, "bad.twpp")
+	if _, err := twpp.StreamCompactFile(bad, gone, twpp.CompactOptions{}); err == nil {
+		t.Fatal("truncated input: want error")
+	}
+	if _, err := os.Stat(gone); !os.IsNotExist(err) {
+		t.Errorf("partial output left behind: %v", err)
+	}
+	if _, err := twpp.StreamCompactFile(filepath.Join(dir, "absent.wpp"), gone, twpp.CompactOptions{}); err == nil {
+		t.Error("absent input: want error")
+	}
+}
+
+// TestStreamCompactUnknownSize drives StreamCompact through a reader
+// that hides its size (no Seek, no Len): parsing must be unaffected.
+func TestStreamCompactUnknownSize(t *testing.T) {
+	w := buildWorkloadScale(t, "134.perl-like", 0.02)
+	raw := wppfile.EncodeRaw(w)
+	want, _ := streamPipeline(t, raw, 1)
+	var buf bytes.Buffer
+	if _, err := twpp.StreamCompact(io.MultiReader(bytes.NewReader(raw)), &buf, twpp.CompactOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("unknown-size stream output differs")
+	}
+	// Corrupt input still fails cleanly without a size up front.
+	if _, err := twpp.StreamCompact(io.MultiReader(bytes.NewReader(raw[:len(raw)/3])), io.Discard, twpp.CompactOptions{}); err == nil {
+		t.Error("truncated unsized stream: want error")
+	}
+}
+
+// FuzzStreamCompactDeterminism fuzzes random WPP shapes through the
+// streaming pipeline at several worker counts, requiring byte-identity
+// with the batch pipeline. The seeded corpus runs in ordinary go test.
+func FuzzStreamCompactDeterminism(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		w := randWPP(rand.New(rand.NewSource(seed)))
+		raw := wppfile.EncodeRaw(w)
+		want, wantStats := encodePipeline(t, w, 1)
+		for _, workers := range []int{1, 2, 8} {
+			got, gotStats := streamPipeline(t, raw, workers)
+			if gotStats != wantStats {
+				t.Fatalf("seed %d workers=%d: stats diverge", seed, workers)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d workers=%d: bytes diverge", seed, workers)
+			}
+		}
+	})
+}
