@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-mem fuzz-seed ci
+.PHONY: build test race vet lint cover bench bench-json bench-mem fuzz-seed ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,30 @@ race:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional tooling: run it when the host has it, skip
+# quietly (with a note) when it does not, so ci works in hermetic
+# containers without network access.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go vet already ran)"; \
+	fi
+
+# Coverage floor on the decode-critical packages: the corruption sweep
+# and fuzz targets only mean something if the decoders they exercise
+# are actually covered. Fails if either package drops below 70%.
+COVER_FLOOR ?= 70
+cover:
+	@for pkg in ./internal/encoding/ ./internal/wppfile/; do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; exit 1; fi; \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		if [ $$(printf '%.0f' "$$pct") -lt $(COVER_FLOOR) ]; then \
+			echo "$$pkg coverage $$pct% below floor $(COVER_FLOOR)%"; exit 1; \
+		fi; \
+	done
+
 # Quick benchmark sweep of the parallel pipeline and concurrent
 # extraction (full tables: `go run ./cmd/twpp-bench`).
 bench:
@@ -36,9 +60,11 @@ bench-json:
 bench-mem:
 	$(GO) test -run xxx -bench StreamCompact -benchtime 1x .
 
-# Run the determinism fuzz targets on their seed corpora only (no
-# fuzzing time; the seeded cases run as ordinary tests).
+# Run the fuzz targets on their seed corpora only (no fuzzing time;
+# the seeded cases run as ordinary tests): the compaction determinism
+# targets at the root and the hostile-input decode targets in wppfile.
 fuzz-seed:
 	$(GO) test -run 'FuzzParallelCompactDeterminism|FuzzStreamCompactDeterminism' .
+	$(GO) test -run 'FuzzDecodeCompacted|FuzzStreamRoundTrip' ./internal/wppfile/
 
-ci: vet build test race fuzz-seed bench-mem
+ci: lint build test race fuzz-seed cover bench-mem

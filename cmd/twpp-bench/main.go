@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"twpp/internal/bench"
+	"twpp/internal/cli"
 	"twpp/internal/figures"
 )
 
@@ -35,11 +36,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "also write a machine-readable benchmark report to this file")
 	)
 	flag.Parse()
-
-	if err := run(*scale, *dir, *table, *figure, *maxFuncs, *workers, *jsonOut, *ablation); err != nil {
-		fmt.Fprintln(os.Stderr, "twpp-bench:", err)
-		os.Exit(1)
-	}
+	cli.Exit("twpp-bench", run(*scale, *dir, *table, *figure, *maxFuncs, *workers, *jsonOut, *ablation))
 }
 
 func run(scale float64, dir string, table, figure, maxFuncs, workers int, jsonOut string, ablation bool) error {

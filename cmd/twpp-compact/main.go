@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"twpp"
+	"twpp/internal/cli"
 )
 
 func main() {
@@ -26,15 +30,17 @@ func main() {
 		verb    = flag.Bool("v", true, "print compaction statistics")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *seq, *workers, *stream, *verb); err != nil {
-		fmt.Fprintln(os.Stderr, "twpp-compact:", err)
-		os.Exit(1)
-	}
+	// Interrupt (ctrl-C) cancels the pipeline cooperatively: partial
+	// output is removed and the tool exits with cli.ExitCanceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, *in, *out, *seq, *workers, *stream, *verb)
+	stop()
+	cli.Exit("twpp-compact", err)
 }
 
-func run(in, out, seqPath string, workers int, stream, verbose bool) error {
+func run(ctx context.Context, in, out, seqPath string, workers int, stream, verbose bool) error {
 	if in == "" {
-		return fmt.Errorf("missing -in")
+		return cli.Usagef("missing -in")
 	}
 	if out == "" {
 		out = in + ".twpp"
@@ -47,9 +53,9 @@ func run(in, out, seqPath string, workers int, stream, verbose bool) error {
 	)
 	if stream {
 		if seqPath != "" {
-			return fmt.Errorf("-sequitur needs the whole WPP in memory; drop -stream")
+			return cli.Usagef("-sequitur needs the whole WPP in memory; drop -stream")
 		}
-		res, err := twpp.StreamCompactFile(in, out, opts)
+		res, err := twpp.StreamCompactFileContext(ctx, in, out, opts)
 		if err != nil {
 			return err
 		}
@@ -60,7 +66,10 @@ func run(in, out, seqPath string, workers int, stream, verbose bool) error {
 		if err != nil {
 			return err
 		}
-		tw, s := twpp.CompactOpts(w, opts)
+		tw, s, err := twpp.CompactContext(ctx, w, opts)
+		if err != nil {
+			return err
+		}
 		if err := twpp.WriteFileOpts(out, tw, opts); err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -46,7 +47,7 @@ func TestRunCompacts(t *testing.T) {
 	in := writeTrace(t, dir)
 	out := filepath.Join(dir, "t.twpp")
 	seq := filepath.Join(dir, "t.seq")
-	if err := run(in, out, seq, 2, false, false); err != nil {
+	if err := run(context.Background(), in, out, seq, 2, false, false); err != nil {
 		t.Fatal(err)
 	}
 	cf, err := twpp.OpenFile(out)
@@ -73,10 +74,10 @@ func TestRunStreamMatchesBatch(t *testing.T) {
 	in := writeTrace(t, dir)
 	batch := filepath.Join(dir, "batch.twpp")
 	stream := filepath.Join(dir, "stream.twpp")
-	if err := run(in, batch, "", 2, false, false); err != nil {
+	if err := run(context.Background(), in, batch, "", 2, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, stream, "", 2, true, false); err != nil {
+	if err := run(context.Background(), in, stream, "", 2, true, false); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(batch)
@@ -91,7 +92,7 @@ func TestRunStreamMatchesBatch(t *testing.T) {
 		t.Error("-stream output differs from batch output")
 	}
 	// -stream refuses the in-memory-only Sequitur baseline.
-	if err := run(in, stream, filepath.Join(dir, "t.seq"), 1, true, false); err == nil {
+	if err := run(context.Background(), in, stream, filepath.Join(dir, "t.seq"), 1, true, false); err == nil {
 		t.Error("-stream with -sequitur: want error")
 	}
 }
@@ -99,7 +100,7 @@ func TestRunStreamMatchesBatch(t *testing.T) {
 func TestRunDefaultOutputName(t *testing.T) {
 	dir := t.TempDir()
 	in := writeTrace(t, dir)
-	if err := run(in, "", "", 1, false, false); err != nil {
+	if err := run(context.Background(), in, "", "", 1, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(in + ".twpp"); err != nil {
@@ -108,10 +109,10 @@ func TestRunDefaultOutputName(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", 1, false, false); err == nil {
+	if err := run(context.Background(), "", "", "", 1, false, false); err == nil {
 		t.Error("missing input: want error")
 	}
-	if err := run("/nonexistent/file.wpp", "", "", 1, false, false); err == nil {
+	if err := run(context.Background(), "/nonexistent/file.wpp", "", "", 1, false, false); err == nil {
 		t.Error("absent input: want error")
 	}
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twpp/internal/cli"
+	"twpp/internal/testkit"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	p := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", p, got, want)
+	}
+}
+
+func TestGoldenList(t *testing.T) {
+	p := writeTWPP(t, t.TempDir())
+	var buf bytes.Buffer
+	if err := run(&buf, p, true, -1, 0, false, 0, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "list.golden", buf.Bytes())
+}
+
+func TestGoldenExtractAndQuery(t *testing.T) {
+	p := writeTWPP(t, t.TempDir())
+	var buf bytes.Buffer
+	if err := run(&buf, p, false, 1, 0, true, 2, "1", "9", 0); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "query.golden", buf.Bytes())
+}
+
+// Exit codes are part of the CLI contract: usage problems exit 2,
+// corrupt inputs 3, truncated inputs 4 — asserted through the same
+// classifier main uses.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	valid := writeTWPP(t, dir)
+	img, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptPath := filepath.Join(dir, "corrupt.twpp")
+	if err := os.WriteFile(corruptPath, testkit.BitFlip(img, 0, 3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truncPath := filepath.Join(dir, "trunc.twpp")
+	if err := os.WriteFile(truncPath, testkit.Truncate(img, 9), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		in   string
+		list bool
+		want int
+	}{
+		{"success", valid, true, cli.ExitOK},
+		{"missing -in is usage", "", true, cli.ExitUsage},
+		{"bad magic is corrupt", corruptPath, true, cli.ExitCorrupt},
+		{"truncated header", truncPath, true, cli.ExitTruncated},
+		{"absent file is plain failure", filepath.Join(dir, "nope.twpp"), true, cli.ExitFailure},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(&bytes.Buffer{}, tc.in, tc.list, -1, 0, false, 0, "", "", 0)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Fatalf("exit code %d, want %d (err: %v)", got, tc.want, err)
+			}
+		})
+	}
+
+	// Usage classification for the non-list paths.
+	if got := cli.ExitCode(run(&bytes.Buffer{}, valid, false, -1, 0, false, 0, "", "", 0)); got != cli.ExitUsage {
+		t.Errorf("neither -list nor -func: exit %d, want %d", got, cli.ExitUsage)
+	}
+	if got := cli.ExitCode(run(&bytes.Buffer{}, valid, false, 1, 99, false, 0, "", "", 0)); got != cli.ExitUsage {
+		t.Errorf("trace index out of range: exit %d, want %d", got, cli.ExitUsage)
+	}
+}

@@ -16,12 +16,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"twpp"
 	"twpp/internal/cfg"
+	"twpp/internal/cli"
 	"twpp/internal/dataflow"
 )
 
@@ -38,15 +40,12 @@ func main() {
 		cache   = flag.Int("cache", 0, "decoded-block LRU cache entries (0 = no cache)")
 	)
 	flag.Parse()
-	if err := run(*in, *list, *fn, *traceIx, *show, *block, *genStr, *killStr, *cache); err != nil {
-		fmt.Fprintln(os.Stderr, "twpp-query:", err)
-		os.Exit(1)
-	}
+	cli.Exit("twpp-query", run(os.Stdout, *in, *list, *fn, *traceIx, *show, *block, *genStr, *killStr, *cache))
 }
 
-func run(in string, list bool, fn, traceIx int, show bool, block int, genStr, killStr string, cache int) error {
+func run(out io.Writer, in string, list bool, fn, traceIx int, show bool, block int, genStr, killStr string, cache int) error {
 	if in == "" {
-		return fmt.Errorf("missing -in")
+		return cli.Usagef("missing -in")
 	}
 	f, err := twpp.OpenFileOpts(in, twpp.OpenOptions{CacheEntries: cache})
 	if err != nil {
@@ -55,34 +54,34 @@ func run(in string, list bool, fn, traceIx int, show bool, block int, genStr, ki
 	defer f.Close()
 
 	if list {
-		fmt.Printf("%-8s %-24s %s\n", "id", "name", "calls")
+		fmt.Fprintf(out, "%-8s %-24s %s\n", "id", "name", "calls")
 		for _, id := range f.Functions() {
 			name := fmt.Sprintf("func%d", id)
 			if int(id) < len(f.FuncNames) {
 				name = f.FuncNames[id]
 			}
-			fmt.Printf("%-8d %-24s %d\n", id, name, f.CallCount(id))
+			fmt.Fprintf(out, "%-8d %-24s %d\n", id, name, f.CallCount(id))
 		}
 		return nil
 	}
 	if fn < 0 {
-		return fmt.Errorf("need -list or -func")
+		return cli.Usagef("need -list or -func")
 	}
 
 	ft, err := f.ExtractFunction(twpp.FuncID(fn))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("function %d: %d calls, %d unique traces, %d dictionaries\n",
+	fmt.Fprintf(out, "function %d: %d calls, %d unique traces, %d dictionaries\n",
 		fn, ft.CallCount, len(ft.Traces), len(ft.Dicts))
 	if traceIx < 0 || traceIx >= len(ft.Traces) {
-		return fmt.Errorf("trace index %d out of range", traceIx)
+		return cli.Usagef("trace index %d out of range", traceIx)
 	}
 	tr := ft.Traces[traceIx]
-	fmt.Printf("trace %d: length %d, %d distinct dynamic blocks\n", traceIx, tr.Len, len(tr.Blocks))
+	fmt.Fprintf(out, "trace %d: length %d, %d distinct dynamic blocks\n", traceIx, tr.Len, len(tr.Blocks))
 	if show {
 		for _, bt := range tr.Blocks {
-			fmt.Printf("  %4d -> %s\n", bt.Block, bt.Times)
+			fmt.Fprintf(out, "  %4d -> %s\n", bt.Block, bt.Times)
 		}
 	}
 
@@ -104,11 +103,11 @@ func run(in string, list bool, fn, traceIx int, show bool, block int, genStr, ki
 		if err != nil {
 			return err
 		}
-		fmt.Printf("query <T(%d), %d>: holds %s\n", block, block, res.Holds())
-		fmt.Printf("  true:       %s (%d)\n", res.True, res.True.Count())
-		fmt.Printf("  false:      %s (%d)\n", res.False, res.False.Count())
-		fmt.Printf("  unresolved: %s (%d)\n", res.Unresolved, res.Unresolved.Count())
-		fmt.Printf("  frequency %.1f%%, %d queries, %d steps\n",
+		fmt.Fprintf(out, "query <T(%d), %d>: holds %s\n", block, block, res.Holds())
+		fmt.Fprintf(out, "  true:       %s (%d)\n", res.True, res.True.Count())
+		fmt.Fprintf(out, "  false:      %s (%d)\n", res.False, res.False.Count())
+		fmt.Fprintf(out, "  unresolved: %s (%d)\n", res.Unresolved, res.Unresolved.Count())
+		fmt.Fprintf(out, "  frequency %.1f%%, %d queries, %d steps\n",
 			100*res.Frequency(), res.Queries, res.Steps)
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"path/filepath"
 	"testing"
 
@@ -42,7 +43,7 @@ func w(m) {
 
 func TestRunList(t *testing.T) {
 	p := writeTWPP(t, t.TempDir())
-	if err := run(p, true, -1, 0, false, 0, "", "", 0); err != nil {
+	if err := run(io.Discard, p, true, -1, 0, false, 0, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -51,33 +52,33 @@ func TestRunExtractAndQuery(t *testing.T) {
 	p := writeTWPP(t, t.TempDir())
 	// Extract function 1 (w) with timestamp display and a GEN-KILL
 	// query on its loop head.
-	if err := run(p, false, 1, 0, true, 2, "1", "9", 0); err != nil {
+	if err := run(io.Discard, p, false, 1, 0, true, 2, "1", "9", 0); err != nil {
 		t.Fatal(err)
 	}
 	// Same query through the decode cache.
-	if err := run(p, false, 1, 0, true, 2, "1", "9", 16); err != nil {
+	if err := run(io.Discard, p, false, 1, 0, true, 2, "1", "9", 16); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	p := writeTWPP(t, t.TempDir())
-	if err := run("", false, 0, 0, false, 0, "", "", 0); err == nil {
+	if err := run(io.Discard, "", false, 0, 0, false, 0, "", "", 0); err == nil {
 		t.Error("missing input: want error")
 	}
-	if err := run(p, false, -1, 0, false, 0, "", "", 0); err == nil {
+	if err := run(io.Discard, p, false, -1, 0, false, 0, "", "", 0); err == nil {
 		t.Error("neither list nor func: want error")
 	}
-	if err := run(p, false, 1, 99, false, 0, "", "", 0); err == nil {
+	if err := run(io.Discard, p, false, 1, 99, false, 0, "", "", 0); err == nil {
 		t.Error("bad trace index: want error")
 	}
-	if err := run(p, false, 99, 0, false, 0, "", "", 0); err == nil {
+	if err := run(io.Discard, p, false, 99, 0, false, 0, "", "", 0); err == nil {
 		t.Error("absent function: want error")
 	}
-	if err := run(p, false, 1, 0, false, 2, "x", "", 0); err == nil {
+	if err := run(io.Discard, p, false, 1, 0, false, 2, "x", "", 0); err == nil {
 		t.Error("bad gen list: want error")
 	}
-	if err := run(p, false, 1, 0, false, 2, "", "y", 0); err == nil {
+	if err := run(io.Discard, p, false, 1, 0, false, 2, "", "y", 0); err == nil {
 		t.Error("bad kill list: want error")
 	}
 }

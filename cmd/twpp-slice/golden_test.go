@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twpp/internal/cli"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	p := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", p, got, want)
+	}
+}
+
+// The paper's Figure 10 worked example, sliced on Z at the loop exit:
+// approach 3 (intraprocedural) and the instance-precise
+// interprocedural slice, pinned as golden output.
+func TestGoldenApproach3(t *testing.T) {
+	src := writeSrc(t)
+	var buf bytes.Buffer
+	if err := run(src, "3,-4,3,-2", "main", 14, "Z", 0, "3", &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "approach3.golden", buf.Bytes())
+}
+
+func TestGoldenInterprocedural(t *testing.T) {
+	src := writeSrc(t)
+	var buf bytes.Buffer
+	if err := run(src, "3,-4,3,-2", "main", 14, "Z", 0, "inter", &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "inter.golden", buf.Bytes())
+}
+
+func TestSliceExitCodes(t *testing.T) {
+	src := writeSrc(t)
+	null := &bytes.Buffer{}
+	cases := []struct {
+		name     string
+		src      string
+		block    int
+		approach string
+		want     int
+	}{
+		{"success", src, 14, "3", cli.ExitOK},
+		{"missing -src is usage", "", 14, "3", cli.ExitUsage},
+		{"missing -block is usage", src, 0, "3", cli.ExitUsage},
+		{"unknown approach is usage", src, 14, "bogus", cli.ExitUsage},
+		{"unreadable source is failure", filepath.Join(t.TempDir(), "nope.mini"), 14, "3", cli.ExitFailure},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.src, "3,-4,3,-2", "main", tc.block, "Z", 0, tc.approach, null)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Fatalf("exit code %d, want %d (err: %v)", got, tc.want, err)
+			}
+		})
+	}
+}

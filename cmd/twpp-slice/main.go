@@ -16,12 +16,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"twpp"
 	"twpp/internal/cfg"
+	"twpp/internal/cli"
 	"twpp/internal/core"
 	"twpp/internal/dataflow"
 	"twpp/internal/minilang"
@@ -41,18 +43,15 @@ func main() {
 		approach = flag.String("approach", "3", "1, 2, 3, or inter")
 	)
 	flag.Parse()
-	if err := run(*srcPath, *input, *funcName, *block, *varName, *instant, *approach, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "twpp-slice:", err)
-		os.Exit(1)
-	}
+	cli.Exit("twpp-slice", run(*srcPath, *input, *funcName, *block, *varName, *instant, *approach, os.Stdout))
 }
 
-func run(srcPath, input, funcName string, block int, varName string, instant int64, approach string, out *os.File) error {
+func run(srcPath, input, funcName string, block int, varName string, instant int64, approach string, out io.Writer) error {
 	if srcPath == "" {
-		return fmt.Errorf("missing -src")
+		return cli.Usagef("missing -src")
 	}
 	if block <= 0 {
-		return fmt.Errorf("missing -block")
+		return cli.Usagef("missing -block")
 	}
 	srcBytes, err := os.ReadFile(srcPath)
 	if err != nil {
@@ -120,7 +119,7 @@ func run(srcPath, input, funcName string, block int, varName string, instant int
 	case "3":
 		sl, err = s.Approach3(crit)
 	default:
-		return fmt.Errorf("unknown approach %q (want 1, 2, 3, or inter)", approach)
+		return cli.Usagef("unknown approach %q (want 1, 2, 3, or inter)", approach)
 	}
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"twpp"
+	"twpp/internal/cli"
 )
 
 func main() {
@@ -24,15 +25,12 @@ func main() {
 		stats   = flag.Bool("stats", true, "print trace statistics")
 	)
 	flag.Parse()
-	if err := run(*srcPath, *input, *out, *stats); err != nil {
-		fmt.Fprintln(os.Stderr, "twpp-trace:", err)
-		os.Exit(1)
-	}
+	cli.Exit("twpp-trace", run(*srcPath, *input, *out, *stats))
 }
 
 func run(srcPath, input, out string, stats bool) error {
 	if srcPath == "" {
-		return fmt.Errorf("missing -src")
+		return cli.Usagef("missing -src")
 	}
 	src, err := os.ReadFile(srcPath)
 	if err != nil {

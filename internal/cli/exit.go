@@ -1,0 +1,89 @@
+// Package cli holds plumbing shared by the twpp command-line tools:
+// exit codes keyed to the structured decode error classes, and the
+// usage-error type that selects the usage exit code.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"twpp/internal/encoding"
+	"twpp/internal/trace"
+)
+
+// Exit codes. Scripts dispatch on these instead of parsing stderr:
+// 3 and 4 distinguish "the file is damaged" from "the file is cut
+// short" (retry a transfer), 5 flags inputs rejected by a decode
+// resource limit, 6 flags interruption.
+const (
+	// ExitOK: success.
+	ExitOK = 0
+	// ExitFailure: any error with no more specific class (I/O,
+	// execution failures, internal errors).
+	ExitFailure = 1
+	// ExitUsage: bad command line (missing or contradictory flags).
+	ExitUsage = 2
+	// ExitCorrupt: the input file or stream is structurally invalid —
+	// wrong magic or version, malformed content, broken call nesting.
+	ExitCorrupt = 3
+	// ExitTruncated: the input ended early (or a varint overflowed).
+	ExitTruncated = 4
+	// ExitLimit: the input declared sizes beyond a decode resource
+	// limit (OpenOptions.Max*).
+	ExitLimit = 5
+	// ExitCanceled: the operation was canceled or timed out.
+	ExitCanceled = 6
+)
+
+// UsageError marks a command-line usage failure; ExitCode maps it to
+// ExitUsage.
+type UsageError struct{ Msg string }
+
+func (e *UsageError) Error() string { return e.Msg }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// ExitCode classifies err into one of the exit codes above using
+// errors.As/Is over the structured error types, never message text.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	var ue *UsageError
+	if errors.As(err, &ue) {
+		return ExitUsage
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ExitCanceled
+	}
+	var de *encoding.Error
+	if errors.As(err, &de) {
+		switch de.Code {
+		case encoding.CodeTruncated, encoding.CodeOverflow:
+			return ExitTruncated
+		case encoding.CodeLimit:
+			return ExitLimit
+		default:
+			return ExitCorrupt
+		}
+	}
+	var se *trace.StreamError
+	if errors.As(err, &se) {
+		return ExitCorrupt
+	}
+	return ExitFailure
+}
+
+// Exit terminates the process with err's exit code, printing
+// "tool: err" to stderr first when err is non-nil.
+func Exit(tool string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	}
+	os.Exit(ExitCode(err))
+}

@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"twpp/internal/encoding"
+	"twpp/internal/trace"
+)
+
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil is OK", nil, ExitOK},
+		{"plain error is failure", errors.New("boom"), ExitFailure},
+		{"usage error", Usagef("missing -in"), ExitUsage},
+		{"wrapped usage error", fmt.Errorf("outer: %w", Usagef("x")), ExitUsage},
+		{"canceled", context.Canceled, ExitCanceled},
+		{"deadline", context.DeadlineExceeded, ExitCanceled},
+		{"wrapped cancellation", fmt.Errorf("compact: %w", context.Canceled), ExitCanceled},
+		{"truncated", encoding.Errf(encoding.CodeTruncated, 5, "cut short"), ExitTruncated},
+		{"overflow counts as truncated", encoding.Errf(encoding.CodeOverflow, 5, "overflow"), ExitTruncated},
+		{"bad magic is corrupt", encoding.Errf(encoding.CodeBadMagic, 0, "magic"), ExitCorrupt},
+		{"bad version is corrupt", encoding.Errf(encoding.CodeBadVersion, 4, "version"), ExitCorrupt},
+		{"corrupt", encoding.Errf(encoding.CodeCorrupt, 9, "garbage"), ExitCorrupt},
+		{"limit", encoding.Errf(encoding.CodeLimit, 9, "too big"), ExitLimit},
+		{"wrapped decode error", fmt.Errorf("open: %w", encoding.Errf(encoding.CodeLimit, 0, "cap")), ExitLimit},
+		{"stream error is corrupt", &trace.StreamError{Kind: trace.StreamExitUnderflow, Pos: 3}, ExitCorrupt},
+		{"wrapped stream error", fmt.Errorf("replay: %w", &trace.StreamError{Kind: trace.StreamEmpty, Pos: -1}), ExitCorrupt},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ExitCode(tc.err); got != tc.want {
+				t.Fatalf("ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// Usage classification must win over any decode error carried inside
+// the message chain — a usage error is always the operator's problem.
+func TestUsageWinsOverWrappedDecode(t *testing.T) {
+	err := fmt.Errorf("%w: %w", Usagef("bad flag"), encoding.Errf(encoding.CodeCorrupt, 0, "x"))
+	if got := ExitCode(err); got != ExitUsage {
+		t.Fatalf("exit %d, want %d", got, ExitUsage)
+	}
+}

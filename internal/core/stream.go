@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"twpp/internal/cfg"
 	"twpp/internal/trace"
 	"twpp/internal/wpp"
@@ -50,7 +52,14 @@ func (s *StreamCompactor) ExitCall() { s.sc.ExitCall() }
 
 // Finish seals the stream and assembles the TWPP and compaction stats.
 func (s *StreamCompactor) Finish() (*TWPP, wpp.Stats, error) {
-	c, stats, err := s.sc.Finish()
+	return s.FinishCtx(context.Background())
+}
+
+// FinishCtx is Finish with cooperative cancellation, threaded through
+// the wrapped wpp.StreamCompactor's per-function assembly and checked
+// again between functions while rearranging the inverted traces.
+func (s *StreamCompactor) FinishCtx(ctx context.Context) (*TWPP, wpp.Stats, error) {
+	c, stats, err := s.sc.FinishCtx(ctx)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -61,6 +70,9 @@ func (s *StreamCompactor) Finish() (*TWPP, wpp.Stats, error) {
 		Funcs:     make([]FunctionTWPP, len(c.Funcs)),
 	}
 	for f := range c.Funcs {
+		if ctx.Err() != nil {
+			return nil, stats, ctx.Err()
+		}
 		ft := &c.Funcs[f]
 		out := &t.Funcs[f]
 		out.Fn = ft.Fn

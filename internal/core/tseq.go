@@ -279,6 +279,11 @@ func DecodeSigned(vals []int64) (Seq, error) {
 			return nil, fmt.Errorf("core: zero value at position %d (timestamps are 1-based)", i)
 		}
 		last := -v
+		if last <= 0 {
+			// v was math.MinInt64: negation overflows and the "decoded"
+			// value would be a negative timestamp.
+			return nil, fmt.Errorf("core: value %d at position %d out of range", v, i)
+		}
 		var e Entry
 		switch len(pend) {
 		case 0:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -44,26 +45,44 @@ func FromPath(path wpp.PathTrace) *Trace {
 	return tr
 }
 
-// ToPath inverts FromPath, reconstructing the path trace.
+// ToPath inverts FromPath, reconstructing the path trace. The declared
+// length and every series entry are validated before the output is
+// allocated, so a corrupt trace whose Len field was inflated (or whose
+// entries don't actually cover Len timestamps) fails without a
+// length-proportional allocation.
 func (t *Trace) ToPath() (wpp.PathTrace, error) {
+	if t.Len < 0 {
+		return nil, fmt.Errorf("core: negative trace length %d", t.Len)
+	}
+	var total int64
+	for _, bt := range t.Blocks {
+		for _, e := range bt.Times {
+			if e.Step < 1 || e.Lo < 1 || e.Hi < e.Lo {
+				return nil, fmt.Errorf("core: malformed entry %s for block %d", e, bt.Block)
+			}
+			if e.Hi > Timestamp(t.Len) {
+				return nil, fmt.Errorf("core: timestamp %d outside [1,%d] for block %d", e.Hi, t.Len, bt.Block)
+			}
+			cnt := (e.Hi-e.Lo)/e.Step + 1
+			total += cnt
+			if total > int64(t.Len) {
+				return nil, fmt.Errorf("core: %d timestamps exceed declared length %d", total, t.Len)
+			}
+		}
+	}
+	if total != int64(t.Len) {
+		return nil, fmt.Errorf("core: %d of %d timestamps unassigned", int64(t.Len)-total, t.Len)
+	}
 	out := make(wpp.PathTrace, t.Len)
-	filled := 0
 	for _, bt := range t.Blocks {
 		for _, e := range bt.Times {
 			for ts := e.Lo; ts <= e.Hi; ts += e.Step {
-				if ts < 1 || ts > Timestamp(t.Len) {
-					return nil, fmt.Errorf("core: timestamp %d outside [1,%d] for block %d", ts, t.Len, bt.Block)
-				}
 				if out[ts-1] != 0 {
 					return nil, fmt.Errorf("core: timestamp %d claimed by blocks %d and %d", ts, out[ts-1], bt.Block)
 				}
 				out[ts-1] = bt.Block
-				filled++
 			}
 		}
-	}
-	if filled != t.Len {
-		return nil, fmt.Errorf("core: %d of %d timestamps unassigned", t.Len-filled, t.Len)
 	}
 	return out, nil
 }
@@ -136,6 +155,19 @@ func FromCompacted(c *wpp.Compacted) *TWPP {
 // so the result is identical to the sequential path for any worker
 // count.
 func FromCompactedWorkers(c *wpp.Compacted, workers int) *TWPP {
+	t, err := FromCompactedWorkersCtx(context.Background(), c, workers)
+	if err != nil {
+		// Background is never canceled; no other error source exists.
+		panic(err)
+	}
+	return t
+}
+
+// FromCompactedWorkersCtx is FromCompactedWorkers with cooperative
+// cancellation: workers check ctx between functions, so inverting a
+// very large compacted WPP can be abandoned promptly. On cancellation
+// the partial TWPP is discarded and ctx.Err() is returned.
+func FromCompactedWorkersCtx(ctx context.Context, c *wpp.Compacted, workers int) (*TWPP, error) {
 	t := &TWPP{
 		FuncNames: c.FuncNames,
 		Root:      c.Root,
@@ -158,9 +190,12 @@ func FromCompactedWorkers(c *wpp.Compacted, workers int) *TWPP {
 	}
 	if workers == 1 || len(c.Funcs) <= 1 {
 		for f := range c.Funcs {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			convert(f)
 		}
-		return t
+		return t, nil
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -169,6 +204,9 @@ func FromCompactedWorkers(c *wpp.Compacted, workers int) *TWPP {
 		go func() {
 			defer wg.Done()
 			for f := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without working
+				}
 				convert(f)
 			}
 		}()
@@ -178,7 +216,10 @@ func FromCompactedWorkers(c *wpp.Compacted, workers int) *TWPP {
 	}
 	close(jobs)
 	wg.Wait()
-	return t
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return t, nil
 }
 
 // ToCompacted inverts FromCompacted.

@@ -135,7 +135,7 @@ func (c *Cursor) Done() bool { return c.pos >= len(c.buf) }
 func (c *Cursor) Uvarint() (uint64, error) {
 	v, n, err := Uvarint(c.buf[c.pos:])
 	if err != nil {
-		return 0, fmt.Errorf("at offset %d: %w", c.pos, err)
+		return 0, cursorErr(err, c.pos)
 	}
 	c.pos += n
 	return v, nil
@@ -145,7 +145,7 @@ func (c *Cursor) Uvarint() (uint64, error) {
 func (c *Cursor) Varint() (int64, error) {
 	v, n, err := Varint(c.buf[c.pos:])
 	if err != nil {
-		return 0, fmt.Errorf("at offset %d: %w", c.pos, err)
+		return 0, cursorErr(err, c.pos)
 	}
 	c.pos += n
 	return v, nil
@@ -155,7 +155,7 @@ func (c *Cursor) Varint() (int64, error) {
 func (c *Cursor) Uint32() (uint32, error) {
 	v, err := Uint32(c.buf[c.pos:])
 	if err != nil {
-		return 0, fmt.Errorf("at offset %d: %w", c.pos, err)
+		return 0, cursorErr(err, c.pos)
 	}
 	c.pos += 4
 	return v, nil
@@ -165,17 +165,29 @@ func (c *Cursor) Uint32() (uint32, error) {
 func (c *Cursor) Uint64() (uint64, error) {
 	v, err := Uint64(c.buf[c.pos:])
 	if err != nil {
-		return 0, fmt.Errorf("at offset %d: %w", c.pos, err)
+		return 0, cursorErr(err, c.pos)
 	}
 	c.pos += 8
 	return v, nil
+}
+
+// cursorErr lifts a sentinel from the slice-level decoders into a
+// structured *Error carrying the cursor offset.
+func cursorErr(err error, pos int) error {
+	switch err {
+	case ErrTruncated:
+		return truncatedAt(pos)
+	case ErrOverflow:
+		return overflowAt(pos)
+	}
+	return fmt.Errorf("at offset %d: %w", pos, err)
 }
 
 // Bytes reads exactly n raw bytes. The returned slice aliases the
 // cursor's buffer; callers must not modify it.
 func (c *Cursor) Bytes(n int) ([]byte, error) {
 	if n < 0 || c.Len() < n {
-		return nil, fmt.Errorf("at offset %d: need %d bytes, have %d: %w", c.pos, n, c.Len(), ErrTruncated)
+		return nil, Errf(CodeTruncated, int64(c.pos), "need %d bytes, have %d: %v", n, c.Len(), ErrTruncated)
 	}
 	b := c.buf[c.pos : c.pos+n]
 	c.pos += n
@@ -185,7 +197,7 @@ func (c *Cursor) Bytes(n int) ([]byte, error) {
 // Skip advances the cursor by n bytes.
 func (c *Cursor) Skip(n int) error {
 	if n < 0 || c.Len() < n {
-		return fmt.Errorf("at offset %d: cannot skip %d bytes, have %d: %w", c.pos, n, c.Len(), ErrTruncated)
+		return Errf(CodeTruncated, int64(c.pos), "cannot skip %d bytes, have %d: %v", n, c.Len(), ErrTruncated)
 	}
 	c.pos += n
 	return nil

@@ -1,0 +1,136 @@
+package encoding
+
+import "fmt"
+
+// ErrorCode classifies a decode failure so callers can dispatch on the
+// failure class (exit codes, retry policy, metrics) without parsing
+// message strings.
+type ErrorCode uint8
+
+const (
+	// CodeUnknown is the zero code: a failure with no classification.
+	CodeUnknown ErrorCode = iota
+	// CodeTruncated: the input ended before the decode completed.
+	CodeTruncated
+	// CodeOverflow: a varint did not terminate within 64 bits.
+	CodeOverflow
+	// CodeBadMagic: the input does not start with the expected format
+	// magic — it is not (or is no longer) a file of this format.
+	CodeBadMagic
+	// CodeBadVersion: recognized format, unsupported version.
+	CodeBadVersion
+	// CodeCorrupt: structurally invalid content — counts that exceed
+	// the input, indices out of range, trailing bytes, malformed
+	// series entries.
+	CodeCorrupt
+	// CodeLimit: the input declared sizes beyond a configured decode
+	// resource limit; decoding stopped before allocating for them.
+	CodeLimit
+)
+
+// String names the code for logs and error text.
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeTruncated:
+		return "truncated"
+	case CodeOverflow:
+		return "overflow"
+	case CodeBadMagic:
+		return "bad-magic"
+	case CodeBadVersion:
+		return "bad-version"
+	case CodeCorrupt:
+		return "corrupt"
+	case CodeLimit:
+		return "limit-exceeded"
+	default:
+		return "unknown"
+	}
+}
+
+// Error is a structured decode failure: a machine-dispatchable code,
+// the byte offset at which the failure was detected (-1 when unknown
+// or not meaningful), and human-readable detail. All decode surfaces
+// of the WPP file formats report *Error values, so callers can use
+// errors.As to recover the code and offset, and errors.Is against the
+// ErrTruncated / ErrOverflow sentinels keeps working.
+type Error struct {
+	Code   ErrorCode
+	Offset int64
+	Detail string
+	// Err, when non-nil, is the underlying cause (a core or lzw decode
+	// failure, an I/O error); Unwrap exposes it to errors.Is/As.
+	Err error
+}
+
+// Error renders the failure. The format matches the messages the
+// pre-structured decoders produced, so error-string parity between the
+// batch and streaming paths is preserved.
+func (e *Error) Error() string {
+	d := e.Detail
+	if d == "" && e.Err != nil {
+		d = e.Err.Error()
+	}
+	if d == "" {
+		switch e.Code {
+		case CodeTruncated:
+			d = ErrTruncated.Error()
+		case CodeOverflow:
+			d = ErrOverflow.Error()
+		default:
+			d = "encoding: " + e.Code.String()
+		}
+	}
+	if e.Offset >= 0 {
+		return fmt.Sprintf("at offset %d: %s", e.Offset, d)
+	}
+	return d
+}
+
+// Is matches the legacy sentinels (ErrTruncated, ErrOverflow) and
+// template *Error values: a target with only a Code set matches any
+// error of that code.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrTruncated:
+		return e.Code == CodeTruncated
+	case ErrOverflow:
+		return e.Code == CodeOverflow
+	}
+	if t, ok := target.(*Error); ok {
+		return t.Code == e.Code &&
+			(t.Offset < 0 || t.Offset == e.Offset) &&
+			(t.Detail == "" || t.Detail == e.Detail)
+	}
+	return false
+}
+
+// Unwrap exposes the wrapped cause, if any.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Errf constructs a structured decode error. offset < 0 means the
+// offset is unknown; the detail string is formatted immediately.
+func Errf(code ErrorCode, offset int64, format string, args ...any) *Error {
+	return &Error{Code: code, Offset: offset, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Wrap classifies an underlying error without losing it: the result
+// renders as "<detail>: <err>" (or just the cause when detail is
+// empty) and unwraps to err.
+func Wrap(code ErrorCode, offset int64, err error, detail string) *Error {
+	if detail != "" {
+		detail = detail + ": " + err.Error()
+	}
+	return &Error{Code: code, Offset: offset, Detail: detail, Err: err}
+}
+
+// truncatedAt and overflowAt build the cursor-level errors whose
+// rendered messages are shared byte for byte by Cursor and
+// StreamCursor.
+func truncatedAt(offset int) *Error {
+	return &Error{Code: CodeTruncated, Offset: int64(offset)}
+}
+
+func overflowAt(offset int) *Error {
+	return &Error{Code: CodeOverflow, Offset: int64(offset)}
+}

@@ -1,0 +1,178 @@
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorCodeString(t *testing.T) {
+	cases := []struct {
+		code ErrorCode
+		want string
+	}{
+		{CodeUnknown, "unknown"},
+		{CodeTruncated, "truncated"},
+		{CodeOverflow, "overflow"},
+		{CodeBadMagic, "bad-magic"},
+		{CodeBadVersion, "bad-version"},
+		{CodeCorrupt, "corrupt"},
+		{CodeLimit, "limit-exceeded"},
+		{ErrorCode(200), "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.code.String(); got != c.want {
+			t.Errorf("ErrorCode(%d).String() = %q, want %q", c.code, got, c.want)
+		}
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	cases := []struct {
+		name string
+		err  *Error
+		want string
+	}{
+		{
+			"detail with offset",
+			&Error{Code: CodeCorrupt, Offset: 12, Detail: "bad index"},
+			"at offset 12: bad index",
+		},
+		{
+			"detail without offset",
+			&Error{Code: CodeCorrupt, Offset: -1, Detail: "bad index"},
+			"bad index",
+		},
+		{
+			"falls back to wrapped cause",
+			&Error{Code: CodeCorrupt, Offset: 3, Err: errors.New("inner")},
+			"at offset 3: inner",
+		},
+		{
+			"truncated sentinel text",
+			&Error{Code: CodeTruncated, Offset: 7},
+			"at offset 7: " + ErrTruncated.Error(),
+		},
+		{
+			"overflow sentinel text",
+			&Error{Code: CodeOverflow, Offset: -1},
+			ErrOverflow.Error(),
+		},
+		{
+			"bare code",
+			&Error{Code: CodeLimit, Offset: -1},
+			"encoding: limit-exceeded",
+		},
+		{
+			"detail wins over cause",
+			&Error{Code: CodeCorrupt, Offset: -1, Detail: "outer", Err: errors.New("inner")},
+			"outer",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.err.Error(); got != tc.want {
+				t.Fatalf("Error() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorIsSentinels(t *testing.T) {
+	tr := Errf(CodeTruncated, 5, "cut")
+	ov := Errf(CodeOverflow, 5, "big")
+	if !errors.Is(tr, ErrTruncated) {
+		t.Error("truncated error must match ErrTruncated")
+	}
+	if errors.Is(tr, ErrOverflow) {
+		t.Error("truncated error must not match ErrOverflow")
+	}
+	if !errors.Is(ov, ErrOverflow) {
+		t.Error("overflow error must match ErrOverflow")
+	}
+	if errors.Is(ov, ErrTruncated) {
+		t.Error("overflow error must not match ErrTruncated")
+	}
+	if errors.Is(Errf(CodeCorrupt, 0, "x"), ErrTruncated) {
+		t.Error("corrupt error must not match ErrTruncated")
+	}
+}
+
+func TestErrorIsTemplateMatching(t *testing.T) {
+	e := Errf(CodeCorrupt, 42, "bad block")
+	cases := []struct {
+		name   string
+		target *Error
+		want   bool
+	}{
+		{"code-only template matches", &Error{Code: CodeCorrupt, Offset: -1}, true},
+		{"wrong code does not match", &Error{Code: CodeLimit, Offset: -1}, false},
+		{"matching offset narrows", &Error{Code: CodeCorrupt, Offset: 42}, true},
+		{"wrong offset rejects", &Error{Code: CodeCorrupt, Offset: 41}, false},
+		{"matching detail narrows", &Error{Code: CodeCorrupt, Offset: -1, Detail: "bad block"}, true},
+		{"wrong detail rejects", &Error{Code: CodeCorrupt, Offset: -1, Detail: "other"}, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := errors.Is(e, tc.target); got != tc.want {
+				t.Fatalf("errors.Is(%v, %v) = %v, want %v", e, tc.target, got, tc.want)
+			}
+		})
+	}
+	if errors.Is(e, errors.New("not an *Error")) {
+		t.Error("foreign target must not match")
+	}
+}
+
+func TestWrapAndUnwrap(t *testing.T) {
+	cause := errors.New("lzw: bad code")
+	e := Wrap(CodeCorrupt, 9, cause, "dcg")
+	if got, want := e.Error(), "at offset 9: dcg: lzw: bad code"; got != want {
+		t.Errorf("Wrap render = %q, want %q", got, want)
+	}
+	if !errors.Is(e, cause) {
+		t.Error("wrapped cause must be reachable via errors.Is")
+	}
+	if errors.Unwrap(e) != cause {
+		t.Error("Unwrap must return the cause")
+	}
+
+	// Empty detail: the render falls through to the cause alone.
+	bare := Wrap(CodeTruncated, -1, cause, "")
+	if got := bare.Error(); got != cause.Error() {
+		t.Errorf("empty-detail Wrap render = %q, want %q", got, cause.Error())
+	}
+	if !errors.Is(bare, ErrTruncated) {
+		t.Error("Wrap must preserve code-based sentinel matching")
+	}
+}
+
+func TestWrapSurvivesFmtChain(t *testing.T) {
+	e := fmt.Errorf("open profile: %w", Errf(CodeLimit, 100, "trace too big"))
+	var out *Error
+	if !errors.As(e, &out) {
+		t.Fatal("errors.As must find the *Error through a fmt wrap")
+	}
+	if out.Code != CodeLimit || out.Offset != 100 {
+		t.Fatalf("recovered Code=%v Offset=%d", out.Code, out.Offset)
+	}
+	if !errors.Is(e, &Error{Code: CodeLimit, Offset: -1}) {
+		t.Error("template match must work through a fmt wrap")
+	}
+}
+
+func TestCursorHelperErrors(t *testing.T) {
+	tr := truncatedAt(17)
+	if tr.Code != CodeTruncated || tr.Offset != 17 {
+		t.Fatalf("truncatedAt = %+v", tr)
+	}
+	ov := overflowAt(3)
+	if ov.Code != CodeOverflow || ov.Offset != 3 {
+		t.Fatalf("overflowAt = %+v", ov)
+	}
+	if tr.Error() == ov.Error() {
+		t.Error("truncated and overflow renders must differ")
+	}
+}

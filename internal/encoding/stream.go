@@ -2,7 +2,6 @@ package encoding
 
 import (
 	"bufio"
-	"fmt"
 	"io"
 )
 
@@ -72,17 +71,17 @@ func (c *StreamCursor) Uvarint() (uint64, error) {
 		b, err := c.r.ReadByte()
 		if err != nil {
 			if err == io.EOF {
-				return 0, fmt.Errorf("at offset %d: %w", start, ErrTruncated)
+				return 0, truncatedAt(start)
 			}
 			return 0, err
 		}
 		c.pos++
 		if i == maxVarintLen64 {
-			return 0, fmt.Errorf("at offset %d: %w", start, ErrOverflow)
+			return 0, overflowAt(start)
 		}
 		if b < 0x80 {
 			if i == maxVarintLen64-1 && b > 1 {
-				return 0, fmt.Errorf("at offset %d: %w", start, ErrOverflow)
+				return 0, overflowAt(start)
 			}
 			return v | uint64(b)<<shift, nil
 		}
@@ -108,7 +107,7 @@ func (c *StreamCursor) Uint32() (uint32, error) {
 	c.pos += n
 	if err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return 0, fmt.Errorf("at offset %d: %w", start, ErrTruncated)
+			return 0, truncatedAt(start)
 		}
 		return 0, err
 	}
@@ -132,7 +131,7 @@ func (c *StreamCursor) Uint64() (uint64, error) {
 // slice is owned by the caller.
 func (c *StreamCursor) Bytes(n int) ([]byte, error) {
 	if n < 0 || c.Len() < n {
-		return nil, fmt.Errorf("at offset %d: need %d bytes, have %d: %w", c.pos, n, c.Len(), ErrTruncated)
+		return nil, Errf(CodeTruncated, int64(c.pos), "need %d bytes, have %d: %v", n, c.Len(), ErrTruncated)
 	}
 	// Fill in bounded chunks: when the input size is unknown the Len
 	// check above cannot reject a lying length field, so never allocate
@@ -146,8 +145,8 @@ func (c *StreamCursor) Bytes(n int) ([]byte, error) {
 		c.pos += m
 		if err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil, fmt.Errorf("at offset %d: need %d bytes, have %d: %w",
-					c.pos-m-start, n, start+m, ErrTruncated)
+				return nil, Errf(CodeTruncated, int64(c.pos-m-start),
+					"need %d bytes, have %d: %v", n, start+m, ErrTruncated)
 			}
 			return nil, err
 		}
@@ -158,13 +157,13 @@ func (c *StreamCursor) Bytes(n int) ([]byte, error) {
 // Skip advances the cursor by n bytes.
 func (c *StreamCursor) Skip(n int) error {
 	if n < 0 || c.Len() < n {
-		return fmt.Errorf("at offset %d: cannot skip %d bytes, have %d: %w", c.pos, n, c.Len(), ErrTruncated)
+		return Errf(CodeTruncated, int64(c.pos), "cannot skip %d bytes, have %d: %v", n, c.Len(), ErrTruncated)
 	}
 	m, err := c.r.Discard(n)
 	c.pos += m
 	if err != nil {
 		if err == io.EOF {
-			return fmt.Errorf("at offset %d: cannot skip %d bytes, have %d: %w", c.pos-m, n, m, ErrTruncated)
+			return Errf(CodeTruncated, int64(c.pos-m), "cannot skip %d bytes, have %d: %v", n, m, ErrTruncated)
 		}
 		return err
 	}

@@ -131,6 +131,15 @@ func Compress(src []byte) []byte {
 // Decompress inverts Compress. It returns ErrCorrupt (possibly wrapped)
 // if src is not a valid stream.
 func Decompress(src []byte) ([]byte, error) {
+	return DecompressLimit(src, 0)
+}
+
+// DecompressLimit is Decompress with a cap on the decompressed size:
+// when the output would exceed max bytes it fails with a wrapped
+// ErrCorrupt instead of allocating further, bounding the memory a
+// hostile stream (LZW expands up to ~65000x) can force. max <= 0
+// disables the cap.
+func DecompressLimit(src []byte, max int) ([]byte, error) {
 	r := &bitReader{in: src}
 	var out []byte
 
@@ -199,6 +208,9 @@ func Decompress(src []byte) ([]byte, error) {
 				return nil, err
 			}
 			out = append(out, exp...)
+		}
+		if max > 0 && len(out) > max {
+			return nil, fmt.Errorf("%w: decompressed output exceeds %d bytes", ErrCorrupt, max)
 		}
 
 		if prev != noPrev && next < 1<<maxWidth {

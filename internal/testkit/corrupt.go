@@ -1,0 +1,121 @@
+package testkit
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Corruption injectors. Every mutator copies: the input image is never
+// modified, so one encoded WPP can seed an entire sweep.
+
+// BitFlip returns a copy of data with bit (0-7) of data[off] flipped.
+func BitFlip(data []byte, off, bit int) []byte {
+	out := append([]byte(nil), data...)
+	out[off] ^= 1 << (bit & 7)
+	return out
+}
+
+// Truncate returns a copy of the first n bytes of data.
+func Truncate(data []byte, n int) []byte {
+	if n > len(data) {
+		n = len(data)
+	}
+	return append([]byte(nil), data[:n]...)
+}
+
+// Splice returns a copy of data with ins inserted at off, shifting the
+// tail right — the "extra garbage in the middle" corruption class.
+func Splice(data []byte, off int, ins []byte) []byte {
+	out := make([]byte, 0, len(data)+len(ins))
+	out = append(out, data[:off]...)
+	out = append(out, ins...)
+	return append(out, data[off:]...)
+}
+
+// InflateLength rewrites the varint starting at off to declare 1<<62,
+// the length-field-inflation attack that turns a small file into a
+// giant allocation request unless the decoder validates declared sizes
+// before allocating. It reports false when off does not start a valid
+// varint.
+func InflateLength(data []byte, off int) ([]byte, bool) {
+	if off < 0 || off >= len(data) {
+		return nil, false
+	}
+	_, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, false
+	}
+	huge := binary.AppendUvarint(nil, 1<<62)
+	out := make([]byte, 0, len(data)-n+len(huge))
+	out = append(out, data[:off]...)
+	out = append(out, huge...)
+	return append(out, data[off+n:]...), true
+}
+
+// Mutation is one corrupted image produced by a sweep, with a label
+// suitable for test failure messages.
+type Mutation struct {
+	Desc string
+	Data []byte
+}
+
+// SweepBitFlips visits a single-bit flip at every stride-th byte
+// (every byte when stride <= 1), all 8 bit positions each.
+func SweepBitFlips(data []byte, stride int, visit func(Mutation)) {
+	if stride < 1 {
+		stride = 1
+	}
+	for off := 0; off < len(data); off += stride {
+		for bit := 0; bit < 8; bit++ {
+			visit(Mutation{
+				Desc: fmt.Sprintf("bitflip off=%d bit=%d", off, bit),
+				Data: BitFlip(data, off, bit),
+			})
+		}
+	}
+}
+
+// SweepTruncations visits every stride-th truncation length from 0 to
+// len(data)-1 (every length when stride <= 1).
+func SweepTruncations(data []byte, stride int, visit func(Mutation)) {
+	if stride < 1 {
+		stride = 1
+	}
+	for n := 0; n < len(data); n += stride {
+		visit(Mutation{
+			Desc: fmt.Sprintf("truncate len=%d", n),
+			Data: Truncate(data, n),
+		})
+	}
+}
+
+// SweepInflations visits a length-field inflation at every stride-th
+// offset that holds a valid varint.
+func SweepInflations(data []byte, stride int, visit func(Mutation)) {
+	if stride < 1 {
+		stride = 1
+	}
+	for off := 0; off < len(data); off += stride {
+		if mut, ok := InflateLength(data, off); ok {
+			visit(Mutation{
+				Desc: fmt.Sprintf("inflate off=%d", off),
+				Data: mut,
+			})
+		}
+	}
+}
+
+// SweepSplices visits a 4-byte garbage splice at every stride-th
+// offset.
+func SweepSplices(data []byte, stride int, visit func(Mutation)) {
+	if stride < 1 {
+		stride = 1
+	}
+	garbage := []byte{0xff, 0x81, 0x00, 0x7f}
+	for off := 0; off <= len(data); off += stride {
+		visit(Mutation{
+			Desc: fmt.Sprintf("splice off=%d", off),
+			Data: Splice(data, off, garbage),
+		})
+	}
+}

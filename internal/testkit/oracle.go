@@ -1,0 +1,326 @@
+package testkit
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/encoding"
+	"twpp/internal/trace"
+	"twpp/internal/wpp"
+	"twpp/internal/wppfile"
+)
+
+// Invariant oracles. Each returns nil when the invariant holds and a
+// descriptive error otherwise; none takes a testing.TB so the same
+// checks serve unit tests, fuzz targets, and the corruption sweeps.
+
+// Structured reports whether err belongs to the structured error
+// vocabulary the decode surfaces are contracted to return on hostile
+// input: *encoding.Error (truncation, overflow, corruption, limits) or
+// *trace.StreamError (event-stream shape violations).
+func Structured(err error) bool {
+	var de *encoding.Error
+	var se *trace.StreamError
+	return errors.As(err, &de) || errors.As(err, &se)
+}
+
+// EncodeBoth encodes w in both on-disk formats: the raw linear stream
+// and the compacted indexed file (single worker, so the bytes are the
+// canonical ordering).
+func EncodeBoth(w *trace.RawWPP) (raw, compacted []byte, err error) {
+	raw = wppfile.EncodeRaw(w)
+	c, _ := wpp.Compact(w)
+	t := core.FromCompacted(c)
+	compacted, err = wppfile.EncodeCompactedWorkers(t, 1)
+	return raw, compacted, err
+}
+
+// RoundTrip checks encode/decode identity on both formats: the raw
+// file re-reads to an event-equal WPP, and the compacted file re-reads
+// to a TWPP that reconstructs the original path exactly.
+func RoundTrip(w *trace.RawWPP) error {
+	dir, err := os.MkdirTemp("", "testkit-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rawPath := filepath.Join(dir, "t.wpp")
+	if err := wppfile.WriteRaw(rawPath, w); err != nil {
+		return fmt.Errorf("write raw: %w", err)
+	}
+	back, err := wppfile.ReadRaw(rawPath)
+	if err != nil {
+		return fmt.Errorf("re-read raw: %w", err)
+	}
+	if !trace.Equal(w, back) {
+		return errors.New("raw round trip: WPP not identical")
+	}
+
+	c, _ := wpp.Compact(w)
+	t := core.FromCompacted(c)
+	twppPath := filepath.Join(dir, "t.twpp")
+	if err := wppfile.WriteCompacted(twppPath, t); err != nil {
+		return fmt.Errorf("write compacted: %w", err)
+	}
+	cf, err := wppfile.OpenCompacted(twppPath)
+	if err != nil {
+		return fmt.Errorf("open compacted: %w", err)
+	}
+	defer cf.Close()
+	t2, err := cf.ReadAll()
+	if err != nil {
+		return fmt.Errorf("read compacted: %w", err)
+	}
+	c2, err := t2.ToCompacted()
+	if err != nil {
+		return fmt.Errorf("invert timestamps: %w", err)
+	}
+	if !trace.Equal(w, c2.Reconstruct()) {
+		return errors.New("compacted round trip: WPP not identical")
+	}
+	return nil
+}
+
+// BatchStreamParity checks that the batch encoder (compact in memory,
+// emit the image) and the streaming pipeline (replay raw events into
+// the online compactor, emit through the writer-based encoder) produce
+// byte-identical compacted files.
+func BatchStreamParity(w *trace.RawWPP) error {
+	_, batch, err := EncodeBoth(w)
+	if err != nil {
+		return fmt.Errorf("batch encode: %w", err)
+	}
+
+	raw := wppfile.EncodeRaw(w)
+	rr, err := wppfile.NewRawStreamReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return fmt.Errorf("stream header: %w", err)
+	}
+	sc := core.NewStreamCompactor(rr.Names())
+	if err := rr.Replay(sc); err != nil {
+		return fmt.Errorf("stream replay: %w", err)
+	}
+	t, _, err := sc.Finish()
+	if err != nil {
+		return fmt.Errorf("stream finish: %w", err)
+	}
+	var buf bytes.Buffer
+	if _, err := wppfile.EncodeCompactedTo(&buf, t, 1); err != nil {
+		return fmt.Errorf("stream encode: %w", err)
+	}
+	if !bytes.Equal(batch, buf.Bytes()) {
+		return fmt.Errorf("batch and stream images differ: %d vs %d bytes", len(batch), buf.Len())
+	}
+	return nil
+}
+
+// ExtractVsRawScan checks that for every function, random-access
+// extraction from the compacted file expands to exactly the per-call
+// traces a linear scan of the raw file yields, in the same
+// (call-completion) order.
+func ExtractVsRawScan(w *trace.RawWPP) error {
+	dir, err := os.MkdirTemp("", "testkit-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rawPath := filepath.Join(dir, "t.wpp")
+	if err := wppfile.WriteRaw(rawPath, w); err != nil {
+		return err
+	}
+	c, _ := wpp.Compact(w)
+	t := core.FromCompacted(c)
+	twppPath := filepath.Join(dir, "t.twpp")
+	if err := wppfile.WriteCompacted(twppPath, t); err != nil {
+		return err
+	}
+	cf, err := wppfile.OpenCompacted(twppPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	dcg, err := cf.ReadDCG()
+	if err != nil {
+		return err
+	}
+
+	for f := range w.FuncNames {
+		fn := cfg.FuncID(f)
+		scanned, err := wppfile.ScanRawForFunction(rawPath, fn)
+		if err != nil {
+			return fmt.Errorf("f%d: raw scan: %w", f, err)
+		}
+		ft, err := cf.ExtractFunction(fn)
+		if err != nil {
+			if len(scanned) == 0 {
+				continue // never called: absent from the index
+			}
+			return fmt.Errorf("f%d: extract: %w", f, err)
+		}
+		got, err := expandCalls(dcg, ft)
+		if err != nil {
+			return fmt.Errorf("f%d: expand: %w", f, err)
+		}
+		if len(got) != len(scanned) {
+			return fmt.Errorf("f%d: %d extracted calls vs %d scanned", f, len(got), len(scanned))
+		}
+		for i := range got {
+			if !pathEqual(got[i], scanned[i]) {
+				return fmt.Errorf("f%d call %d: extracted trace differs from raw scan", f, i)
+			}
+		}
+	}
+	return nil
+}
+
+// expandCalls collects fn's per-call expanded traces in call-completion
+// order — a post-order DCG walk, matching the order a linear replay
+// emits ExitCall events.
+func expandCalls(root *wpp.CallNode, ft *core.FunctionTWPP) ([]wpp.PathTrace, error) {
+	var out []wpp.PathTrace
+	var rec func(n *wpp.CallNode) error
+	rec = func(n *wpp.CallNode) error {
+		for _, ch := range n.Children {
+			if err := rec(ch); err != nil {
+				return err
+			}
+		}
+		if n.Fn != ft.Fn {
+			return nil
+		}
+		path, err := ft.Traces[n.TraceIdx].ToPath()
+		if err != nil {
+			return err
+		}
+		dict := ft.Dicts[ft.DictOf[n.TraceIdx]]
+		var full wpp.PathTrace
+		for _, id := range path {
+			if chain, ok := dict[id]; ok {
+				full = append(full, chain...)
+			} else {
+				full = append(full, id)
+			}
+		}
+		out = append(out, full)
+		return nil
+	}
+	if root == nil {
+		return nil, nil
+	}
+	if err := rec(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func pathEqual(a, b wpp.PathTrace) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckCompactedDecode drives every compacted decode surface (open,
+// DCG, per-function extraction, full read) over one image, recovering
+// panics. It returns nil when the decoder either succeeds or fails
+// with a structured error, and a descriptive error on a panic or an
+// unstructured failure — the two outcomes hostile input must never
+// produce.
+func CheckCompactedDecode(dir string, data []byte, opts wppfile.OpenOptions) (vErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			vErr = fmt.Errorf("panic decoding compacted image: %v", r)
+		}
+	}()
+	path := filepath.Join(dir, "check.twpp")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	cf, err := wppfile.OpenCompactedOptions(path, opts)
+	if err != nil {
+		return requireStructured("open", err)
+	}
+	defer cf.Close()
+	if _, err := cf.ReadDCG(); err != nil {
+		if v := requireStructured("ReadDCG", err); v != nil {
+			return v
+		}
+	}
+	for _, fn := range cf.Functions() {
+		if _, err := cf.ExtractFunction(fn); err != nil {
+			if v := requireStructured("ExtractFunction", err); v != nil {
+				return v
+			}
+		}
+	}
+	if _, err := cf.ReadAll(); err != nil {
+		return requireStructured("ReadAll", err)
+	}
+	return nil
+}
+
+// CheckRawDecode drives the raw image through both decode paths — the
+// batch reader and the streaming replay+compact pipeline — recovering
+// panics. Beyond the no-panic/structured-error contract it asserts the
+// documented parity invariant: both paths fail with the identical
+// error message, or neither fails.
+func CheckRawDecode(dir string, data []byte) (vErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			vErr = fmt.Errorf("panic decoding raw image: %v", r)
+		}
+	}()
+	path := filepath.Join(dir, "check.wpp")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	_, batchErr := wppfile.ReadRaw(path)
+	if batchErr != nil {
+		if v := requireStructured("batch read", batchErr); v != nil {
+			return v
+		}
+	}
+
+	var streamErr error
+	rr, err := wppfile.NewRawStreamReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		streamErr = err
+	} else {
+		b := trace.NewBuilder(rr.Names())
+		streamErr = rr.Replay(b)
+	}
+	if streamErr != nil {
+		if v := requireStructured("stream read", streamErr); v != nil {
+			return v
+		}
+	}
+
+	switch {
+	case batchErr == nil && streamErr == nil:
+		return nil
+	case batchErr == nil || streamErr == nil:
+		return fmt.Errorf("parity break: batch=%v stream=%v", batchErr, streamErr)
+	case batchErr.Error() != streamErr.Error():
+		return fmt.Errorf("parity break: batch=%q stream=%q", batchErr, streamErr)
+	}
+	return nil
+}
+
+func requireStructured(op string, err error) error {
+	if Structured(err) {
+		return nil
+	}
+	return fmt.Errorf("%s: unstructured error %T: %v", op, err, err)
+}

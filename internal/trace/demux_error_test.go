@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"twpp/internal/sequitur"
+)
+
+// Regression tests for the structured Demux errors: each malformed
+// stream must yield a *StreamError of the right kind, dispatchable
+// with errors.As/Is — never a stringly-typed error and never a panic
+// or a corrupted sink.
+func TestDemuxStructuredErrors(t *testing.T) {
+	enter := func(f int) uint32 { return sequitur.EnterMarker(f) }
+	exit := sequitur.ExitMarker
+
+	cases := []struct {
+		name string
+		syms []uint32
+		// numFuncs arms the function-table bound (0 disables).
+		numFuncs int
+		kind     StreamErrorKind
+		// pos is the expected 0-based symbol position (-1 for
+		// end-of-stream checks).
+		pos int
+	}{
+		{
+			name: "exit underflow at stream start",
+			syms: []uint32{exit},
+			kind: StreamExitUnderflow,
+			pos:  0,
+		},
+		{
+			name: "exit underflow after balanced root",
+			syms: []uint32{enter(0), 1, exit, exit},
+			kind: StreamExitUnderflow,
+			pos:  3,
+		},
+		{
+			name: "second root call",
+			syms: []uint32{enter(0), exit, enter(0)},
+			kind: StreamSecondRoot,
+			pos:  2,
+		},
+		{
+			name: "block outside any call",
+			syms: []uint32{5},
+			kind: StreamBlockOutsideCall,
+			pos:  0,
+		},
+		{
+			name:     "unknown function id",
+			syms:     []uint32{enter(0), enter(7)},
+			numFuncs: 3,
+			kind:     StreamUnknownFunc,
+			pos:      1,
+		},
+		{
+			name:     "function id exactly at bound",
+			syms:     []uint32{enter(3)},
+			numFuncs: 3,
+			kind:     StreamUnknownFunc,
+			pos:      0,
+		},
+		{
+			name: "unclosed calls at end",
+			syms: []uint32{enter(0), enter(1), 2, exit},
+			kind: StreamUnclosedCalls,
+			pos:  -1,
+		},
+		{
+			name: "empty stream",
+			syms: nil,
+			kind: StreamEmpty,
+			pos:  -1,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			d := &Demux{Sink: NewBuilder([]string{"a", "b", "c", "d", "e", "f", "g", "h"}), NumFuncs: tc.numFuncs}
+			var err error
+			for _, s := range tc.syms {
+				if err = d.Feed(s); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = d.Close()
+			}
+			var se *StreamError
+			if !errors.As(err, &se) {
+				t.Fatalf("want *StreamError, got %T: %v", err, err)
+			}
+			if se.Kind != tc.kind {
+				t.Fatalf("kind = %v, want %v (err: %v)", se.Kind, tc.kind, err)
+			}
+			if se.Pos != tc.pos {
+				t.Fatalf("pos = %d, want %d (err: %v)", se.Pos, tc.pos, err)
+			}
+			// Template matching via errors.Is must work for dispatch.
+			if !errors.Is(err, &StreamError{Kind: tc.kind}) {
+				t.Fatalf("errors.Is failed to match kind template for %v", err)
+			}
+		})
+	}
+}
+
+// The unknown-function error must carry both the offending id and the
+// declared bound, since the CLI and sweep reports surface both.
+func TestDemuxUnknownFuncContext(t *testing.T) {
+	d := &Demux{Sink: NewBuilder([]string{"main"}), NumFuncs: 1}
+	err := d.Feed(sequitur.EnterMarker(9))
+	var se *StreamError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StreamError, got %v", err)
+	}
+	if se.Func != 9 || se.Declared != 1 {
+		t.Fatalf("context Func=%d Declared=%d, want 9 and 1", se.Func, se.Declared)
+	}
+}
+
+// After a Feed error the offending symbol must not have reached the
+// sink: the builder still finishes cleanly from the prefix.
+func TestDemuxErrorDoesNotReachSink(t *testing.T) {
+	b := NewBuilder([]string{"main"})
+	d := &Demux{Sink: b, NumFuncs: 1}
+	for _, s := range []uint32{sequitur.EnterMarker(0), 4} {
+		if err := d.Feed(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Feed(sequitur.EnterMarker(5)); err == nil {
+		t.Fatal("unknown ENTER accepted")
+	}
+	if err := d.Feed(sequitur.ExitMarker); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w := b.Finish()
+	if w.NumCalls() != 1 || w.NumBlocks() != 1 {
+		t.Fatalf("sink saw the rejected symbol: %d calls, %d blocks", w.NumCalls(), w.NumBlocks())
+	}
+}

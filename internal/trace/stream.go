@@ -26,16 +26,112 @@ type EventSink interface {
 	ExitCall()
 }
 
+// StreamErrorKind classifies a malformed-event-stream failure.
+type StreamErrorKind uint8
+
+const (
+	// StreamExitUnderflow: an EXIT arrived with no call open.
+	StreamExitUnderflow StreamErrorKind = iota
+	// StreamSecondRoot: a second top-level call after the root closed.
+	StreamSecondRoot
+	// StreamBlockOutsideCall: a block event with no call open.
+	StreamBlockOutsideCall
+	// StreamUnknownFunc: an ENTER for a function id at or beyond the
+	// demux's declared function-table bound.
+	StreamUnknownFunc
+	// StreamUnclosedCalls: the stream ended with calls still open.
+	StreamUnclosedCalls
+	// StreamEmpty: the stream ended without any call.
+	StreamEmpty
+)
+
+// String names the kind for logs and error text.
+func (k StreamErrorKind) String() string {
+	switch k {
+	case StreamExitUnderflow:
+		return "exit-underflow"
+	case StreamSecondRoot:
+		return "second-root"
+	case StreamBlockOutsideCall:
+		return "block-outside-call"
+	case StreamUnknownFunc:
+		return "unknown-func"
+	case StreamUnclosedCalls:
+		return "unclosed-calls"
+	case StreamEmpty:
+		return "empty-stream"
+	default:
+		return "unknown"
+	}
+}
+
+// StreamError is a structured malformed-stream failure from Demux:
+// the violation kind, the symbol position at which it was detected
+// (-1 for end-of-stream checks), and kind-specific context. Callers
+// dispatch with errors.As; Error renders the same messages the demux
+// historically produced.
+type StreamError struct {
+	Kind StreamErrorKind
+	// Pos is the 0-based symbol position, or -1 for end-of-stream.
+	Pos int
+	// Sym is the offending symbol (block id or raw symbol), when
+	// meaningful.
+	Sym uint32
+	// Func is the unknown function id for StreamUnknownFunc.
+	Func cfg.FuncID
+	// Open is the open-call depth for StreamUnclosedCalls.
+	Open int
+	// Declared is the demux's function-table bound for
+	// StreamUnknownFunc.
+	Declared int
+}
+
+func (e *StreamError) Error() string {
+	switch e.Kind {
+	case StreamExitUnderflow:
+		return fmt.Sprintf("trace: EXIT at position %d with empty stack", e.Pos)
+	case StreamSecondRoot:
+		return fmt.Sprintf("trace: second root call at position %d", e.Pos)
+	case StreamBlockOutsideCall:
+		return fmt.Sprintf("trace: block %d at position %d outside any call", e.Sym, e.Pos)
+	case StreamUnknownFunc:
+		return fmt.Sprintf("trace: ENTER for unknown function %d at position %d (%d declared)", e.Func, e.Pos, e.Declared)
+	case StreamUnclosedCalls:
+		return fmt.Sprintf("trace: %d unclosed calls", e.Open)
+	case StreamEmpty:
+		return "trace: empty symbol stream (no calls)"
+	default:
+		return fmt.Sprintf("trace: malformed stream at position %d", e.Pos)
+	}
+}
+
+// Is matches template *StreamError values by kind (position and
+// context fields in the target are ignored when zero-valued), so
+// errors.Is(err, &StreamError{Kind: StreamExitUnderflow}) works.
+func (e *StreamError) Is(target error) bool {
+	t, ok := target.(*StreamError)
+	if !ok {
+		return false
+	}
+	return t.Kind == e.Kind && (t.Pos == 0 || t.Pos == e.Pos)
+}
+
 // Demux validates a linear WPP symbol stream (the vocabulary of
 // RawWPP.Linear: sequitur.EnterMarker(f), block ids,
 // sequitur.ExitMarker) and routes each symbol to a sink as a typed
 // event. It enforces the structural invariants a well-formed WPP
 // stream satisfies — balanced ENTER/EXIT, blocks only inside calls,
-// exactly one root call — returning errors where Builder, which trusts
+// exactly one root call, ENTER ids within the declared function table —
+// returning structured *StreamError values where Builder, which trusts
 // its (programmatic) caller, would panic. The zero Demux with a Sink
 // set is ready to use.
 type Demux struct {
 	Sink EventSink
+	// NumFuncs, when positive, bounds valid ENTER function ids: an
+	// ENTER for id >= NumFuncs is rejected as StreamUnknownFunc before
+	// the sink sees it, so sinks never size per-function state by an
+	// attacker-controlled id. Zero disables the check.
+	NumFuncs int
 
 	depth  int
 	pos    int
@@ -48,21 +144,24 @@ func (d *Demux) Feed(sym uint32) error {
 	switch {
 	case sym == sequitur.ExitMarker:
 		if d.depth == 0 {
-			return fmt.Errorf("trace: EXIT at position %d with empty stack", d.pos)
+			return &StreamError{Kind: StreamExitUnderflow, Pos: d.pos, Sym: sym}
 		}
 		d.Sink.ExitCall()
 		d.depth--
 	default:
 		if f, ok := sequitur.IsEnter(sym); ok {
+			if d.NumFuncs > 0 && f >= d.NumFuncs {
+				return &StreamError{Kind: StreamUnknownFunc, Pos: d.pos, Sym: sym, Func: cfg.FuncID(f), Declared: d.NumFuncs}
+			}
 			if d.depth == 0 && d.rooted {
-				return fmt.Errorf("trace: second root call at position %d", d.pos)
+				return &StreamError{Kind: StreamSecondRoot, Pos: d.pos, Sym: sym}
 			}
 			d.Sink.EnterCall(cfg.FuncID(f))
 			d.depth++
 			d.rooted = true
 		} else {
 			if d.depth == 0 {
-				return fmt.Errorf("trace: block %d at position %d outside any call", sym, d.pos)
+				return &StreamError{Kind: StreamBlockOutsideCall, Pos: d.pos, Sym: sym}
 			}
 			d.Sink.Block(cfg.BlockID(sym))
 		}
@@ -75,10 +174,10 @@ func (d *Demux) Feed(sym uint32) error {
 // call present.
 func (d *Demux) Close() error {
 	if d.depth != 0 {
-		return fmt.Errorf("trace: %d unclosed calls", d.depth)
+		return &StreamError{Kind: StreamUnclosedCalls, Pos: -1, Open: d.depth}
 	}
 	if !d.rooted {
-		return fmt.Errorf("trace: empty symbol stream (no calls)")
+		return &StreamError{Kind: StreamEmpty, Pos: -1}
 	}
 	return nil
 }

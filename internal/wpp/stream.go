@@ -1,6 +1,7 @@
 package wpp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -163,6 +164,15 @@ func (s *StreamCompactor) ExitCall() {
 // order, provisional DCG indices rewritten, and stats accumulated —
 // all exactly as the batch path would have produced them.
 func (s *StreamCompactor) Finish() (*Compacted, Stats, error) {
+	return s.FinishCtx(context.Background())
+}
+
+// FinishCtx is Finish with cooperative cancellation: the per-function
+// assembly loop checks ctx between functions, so sealing a stream with
+// very many functions can be abandoned promptly. Once FinishCtx has
+// been called — even if canceled — the compactor is sealed and cannot
+// be finished again.
+func (s *StreamCompactor) FinishCtx(ctx context.Context) (*Compacted, Stats, error) {
 	if s.finished {
 		return nil, Stats{}, fmt.Errorf("wpp: StreamCompactor already finished")
 	}
@@ -193,6 +203,9 @@ func (s *StreamCompactor) Finish() (*Compacted, Stats, error) {
 
 	s.remap = make([][]int, numFuncs)
 	for f := range s.funcs {
+		if ctx.Err() != nil {
+			return nil, Stats{}, ctx.Err()
+		}
 		fs := &s.funcs[f]
 		ft := &c.Funcs[f]
 		ft.CallCount = fs.callCount

@@ -16,6 +16,7 @@
 package wpp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -135,6 +136,20 @@ func Compact(w *trace.RawWPP) (*Compacted, Stats) {
 // accumulated Stats are identical to the sequential (workers == 1)
 // path for any worker count.
 func CompactWorkers(w *trace.RawWPP, workers int) (*Compacted, Stats) {
+	c, stats, err := CompactWorkersCtx(context.Background(), w, workers)
+	if err != nil {
+		// Background is never canceled; no other error source exists.
+		panic(err)
+	}
+	return c, stats
+}
+
+// CompactWorkersCtx is CompactWorkers with cooperative cancellation:
+// the DCG walk checks ctx every few thousand nodes and the
+// DBB-discovery pool checks it between functions, so a canceled
+// context abandons a large compaction promptly. On cancellation the
+// partial Compacted is discarded and ctx.Err() is returned.
+func CompactWorkersCtx(ctx context.Context, w *trace.RawWPP, workers int) (*Compacted, Stats, error) {
 	numFuncs := len(w.FuncNames)
 	// Functions can appear in the DCG beyond the name table when names
 	// are absent; size by scanning.
@@ -164,8 +179,21 @@ func CompactWorkers(w *trace.RawWPP, workers int) (*Compacted, Stats) {
 		seen[f] = newInterner()
 	}
 
+	// The DCG walk polls ctx every stride nodes; once canceled it
+	// unwinds without visiting further children.
+	const cancelStride = 1 << 12
+	visited := 0
+	canceled := false
 	var build func(n *trace.CallNode) *CallNode
 	build = func(n *trace.CallNode) *CallNode {
+		if canceled {
+			return nil
+		}
+		visited++
+		if visited%cancelStride == 0 && ctx.Err() != nil {
+			canceled = true
+			return nil
+		}
 		f := int(n.Fn)
 		tr := PathTrace(w.Traces[n.Trace])
 		h := hashTrace(tr)
@@ -185,6 +213,9 @@ func CompactWorkers(w *trace.RawWPP, workers int) (*Compacted, Stats) {
 		return cn
 	}
 	c.Root = build(w.Root)
+	if canceled || ctx.Err() != nil {
+		return nil, Stats{}, ctx.Err()
+	}
 
 	// Stage 3: per unique trace, discover DBBs and compact; then
 	// deduplicate dictionaries per function. Functions are mutually
@@ -224,6 +255,9 @@ func CompactWorkers(w *trace.RawWPP, workers int) (*Compacted, Stats) {
 	}
 	if workers == 1 || numFuncs <= 1 {
 		for f := range orig {
+			if ctx.Err() != nil {
+				return nil, Stats{}, ctx.Err()
+			}
 			compactFunc(f)
 		}
 	} else {
@@ -234,6 +268,9 @@ func CompactWorkers(w *trace.RawWPP, workers int) (*Compacted, Stats) {
 			go func() {
 				defer wg.Done()
 				for f := range jobs {
+					if ctx.Err() != nil {
+						continue // drain without working
+					}
 					compactFunc(f)
 				}
 			}()
@@ -243,6 +280,9 @@ func CompactWorkers(w *trace.RawWPP, workers int) (*Compacted, Stats) {
 		}
 		close(jobs)
 		wg.Wait()
+		if ctx.Err() != nil {
+			return nil, Stats{}, ctx.Err()
+		}
 	}
 	for f := range partial {
 		ps := &partial[f]
@@ -252,7 +292,7 @@ func CompactWorkers(w *trace.RawWPP, workers int) (*Compacted, Stats) {
 		stats.UniqueTraces += ps.UniqueTraces
 	}
 	stats.AfterDictionary += stats.DictionaryBytes
-	return c, stats
+	return c, stats, nil
 }
 
 // compactTrace finds the dynamic basic blocks of one path trace and

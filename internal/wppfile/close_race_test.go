@@ -1,0 +1,82 @@
+package wppfile_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"twpp/internal/testkit"
+	"twpp/internal/wppfile"
+)
+
+// TestCloseUnderConcurrentExtraction hammers a CompactedFile from 16
+// goroutines — extractions (cached and uncached), DCG reads, cache
+// stats — while Close lands midway through. Run under -race this pins
+// down the teardown contract: every operation either succeeds or fails
+// with os.ErrClosed (or a read error from the closed descriptor), and
+// Close itself is idempotent from any goroutine.
+func TestCloseUnderConcurrentExtraction(t *testing.T) {
+	w := testkit.Generate(testkit.Config{Seed: 5, Shape: testkit.Irregular})
+	_, compacted, err := testkit.EncodeBoth(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "race.twpp")
+	if err := os.WriteFile(p, compacted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 8; trial++ {
+		cf, err := wppfile.OpenCompactedOptions(p, wppfile.OpenOptions{CacheEntries: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns := cf.Functions()
+
+		const workers = 16
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					fn := fns[(g+i)%len(fns)]
+					if _, err := cf.ExtractFunction(fn); err != nil && !acceptableAfterClose(err) {
+						t.Errorf("extract: unexpected error %v", err)
+						return
+					}
+					if i%9 == 0 {
+						if _, err := cf.ReadDCG(); err != nil && !acceptableAfterClose(err) {
+							t.Errorf("ReadDCG: unexpected error %v", err)
+							return
+						}
+					}
+					cf.CacheStats()
+					if g == 7 && i == 25 {
+						if err := cf.Close(); err != nil {
+							t.Errorf("Close: %v", err)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		close(start)
+		wg.Wait()
+		if err := cf.Close(); err != nil {
+			t.Fatalf("final Close: %v", err)
+		}
+	}
+}
+
+// acceptableAfterClose matches the two shapes a closed CompactedFile
+// may produce: the deterministic guard (os.ErrClosed) or, for an
+// operation that had already passed the guard when Close landed, the
+// descriptor-level failure — which os wraps as ErrClosed too.
+func acceptableAfterClose(err error) bool {
+	return errors.Is(err, os.ErrClosed)
+}

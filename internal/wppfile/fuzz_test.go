@@ -1,0 +1,79 @@
+package wppfile_test
+
+import (
+	"bytes"
+	"testing"
+
+	"twpp/internal/testkit"
+	"twpp/internal/trace"
+	"twpp/internal/wppfile"
+)
+
+// FuzzDecodeCompacted feeds arbitrary bytes through every compacted
+// decode surface. Tight resource limits keep hostile length fields
+// from slowing the fuzzer; the oracle fails on any panic or any
+// unstructured error.
+func FuzzDecodeCompacted(f *testing.F) {
+	for _, w := range testkit.Corpus(42) {
+		_, compacted, err := testkit.EncodeBoth(w)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(compacted)
+		f.Add(testkit.Truncate(compacted, len(compacted)/2))
+		f.Add(testkit.BitFlip(compacted, len(compacted)/3, 2))
+	}
+	dir := f.TempDir()
+	opts := wppfile.OpenOptions{
+		MaxTraceBytes: 1 << 20,
+		MaxFuncTraces: 1 << 10,
+		MaxSeqValues:  1 << 12,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := testkit.CheckCompactedDecode(dir, data, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzStreamRoundTrip feeds arbitrary bytes through both raw decode
+// paths, asserting the batch/stream error-parity invariant, and checks
+// that anything that decodes re-encodes to the identical image.
+func FuzzStreamRoundTrip(f *testing.F) {
+	for _, w := range testkit.Corpus(43) {
+		raw, _, err := testkit.EncodeBoth(w)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+		f.Add(testkit.Truncate(raw, len(raw)-1))
+		f.Add(testkit.BitFlip(raw, len(raw)/2, 0))
+	}
+	dir := f.TempDir()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := testkit.CheckRawDecode(dir, data); err != nil {
+			t.Fatal(err)
+		}
+		rr, err := wppfile.NewRawStreamReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		b := trace.NewBuilder(rr.Names())
+		if err := rr.Replay(b); err != nil {
+			return
+		}
+		w := b.Finish()
+		again := wppfile.EncodeRaw(w)
+		back, err := wppfile.NewRawStreamReader(bytes.NewReader(again), int64(len(again)))
+		if err != nil {
+			t.Fatalf("re-encoded image rejected: %v", err)
+		}
+		b2 := trace.NewBuilder(back.Names())
+		if err := back.Replay(b2); err != nil {
+			t.Fatalf("re-encoded image replay failed: %v", err)
+		}
+		if !trace.Equal(w, b2.Finish()) {
+			t.Fatal("stream round trip not identical")
+		}
+	})
+}

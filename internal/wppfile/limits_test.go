@@ -1,0 +1,150 @@
+package wppfile_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twpp/internal/encoding"
+	"twpp/internal/testkit"
+	"twpp/internal/wppfile"
+)
+
+// writeCompactedImage encodes the shape's WPP and writes it to a file.
+func writeCompactedImage(t *testing.T, shape testkit.Shape) (string, []byte) {
+	t.Helper()
+	w := testkit.Generate(testkit.Config{Seed: 11, Shape: shape})
+	_, compacted, err := testkit.EncodeBoth(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "lim.twpp")
+	if err := os.WriteFile(p, compacted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p, compacted
+}
+
+func isLimit(err error) bool {
+	var de *encoding.Error
+	return errors.As(err, &de) && de.Code == encoding.CodeLimit
+}
+
+// A MaxTraceBytes below any real block must reject the file at Open
+// with CodeLimit (the index declares block lengths up front).
+func TestMaxTraceBytesRejectsAtOpen(t *testing.T) {
+	p, _ := writeCompactedImage(t, testkit.Regular)
+	_, err := wppfile.OpenCompactedOptions(p, wppfile.OpenOptions{MaxTraceBytes: 4})
+	if !isLimit(err) {
+		t.Fatalf("want CodeLimit, got %v", err)
+	}
+}
+
+// A MaxFuncTraces below a function's unique-trace count must fail that
+// extraction with CodeLimit — before the trace array is allocated.
+func TestMaxFuncTracesRejectsExtraction(t *testing.T) {
+	p, _ := writeCompactedImage(t, testkit.Irregular)
+	cf, err := wppfile.OpenCompactedOptions(p, wppfile.OpenOptions{MaxFuncTraces: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	var sawLimit bool
+	for _, fn := range cf.Functions() {
+		_, err := cf.ExtractFunction(fn)
+		if err != nil {
+			if !isLimit(err) {
+				t.Fatalf("f%d: want CodeLimit, got %v", fn, err)
+			}
+			sawLimit = true
+		}
+	}
+	if !sawLimit {
+		t.Fatal("no function tripped MaxFuncTraces=1")
+	}
+}
+
+// A MaxSeqValues of 1 must reject any trace longer than one block with
+// CodeLimit.
+func TestMaxSeqValuesRejectsExtraction(t *testing.T) {
+	p, _ := writeCompactedImage(t, testkit.MaxChain)
+	cf, err := wppfile.OpenCompactedOptions(p, wppfile.OpenOptions{MaxSeqValues: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	var sawLimit bool
+	for _, fn := range cf.Functions() {
+		if _, err := cf.ExtractFunction(fn); err != nil {
+			if !isLimit(err) {
+				t.Fatalf("f%d: want CodeLimit, got %v", fn, err)
+			}
+			sawLimit = true
+		}
+	}
+	if !sawLimit {
+		t.Fatal("no function tripped MaxSeqValues=1")
+	}
+}
+
+// NoLimit must disable every cap: the same file opens and reads fully.
+func TestNoLimitDisablesCaps(t *testing.T) {
+	p, _ := writeCompactedImage(t, testkit.Irregular)
+	cf, err := wppfile.OpenCompactedOptions(p, wppfile.OpenOptions{
+		MaxTraceBytes: wppfile.NoLimit,
+		MaxFuncTraces: wppfile.NoLimit,
+		MaxSeqValues:  wppfile.NoLimit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if _, err := cf.ReadAll(); err != nil {
+		t.Fatalf("ReadAll under NoLimit: %v", err)
+	}
+}
+
+// An inflated declared timestamp-set length must yield CodeLimit under
+// default limits, never an allocation attempt: this is the
+// length-field-inflation attack the limits exist for.
+func TestInflatedLengthHitsLimitNotAllocator(t *testing.T) {
+	p, compacted := writeCompactedImage(t, testkit.Periodic)
+	dir := filepath.Dir(p)
+	var hits int
+	testkit.SweepInflations(compacted, 1, func(m testkit.Mutation) {
+		if err := testkit.CheckCompactedDecode(dir, m.Data, wppfile.OpenOptions{}); err != nil {
+			t.Fatalf("%s: %v", m.Desc, err)
+		}
+		hits++
+	})
+	if hits == 0 {
+		t.Fatal("inflation sweep visited nothing")
+	}
+}
+
+// Extraction after Close must fail deterministically with os.ErrClosed
+// rather than racing the descriptor.
+func TestExtractAfterClose(t *testing.T) {
+	p, _ := writeCompactedImage(t, testkit.Regular)
+	cf, err := wppfile.OpenCompacted(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	fns := cf.Functions()
+	if len(fns) == 0 {
+		t.Fatal("no functions")
+	}
+	if _, err := cf.ExtractFunction(fns[0]); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("want os.ErrClosed, got %v", err)
+	}
+	if _, err := cf.ReadDCG(); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("ReadDCG: want os.ErrClosed, got %v", err)
+	}
+}

@@ -1,125 +1,89 @@
-package wppfile
+package wppfile_test
 
 import (
-	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"twpp/internal/core"
+	"twpp/internal/testkit"
 	"twpp/internal/wpp"
+	"twpp/internal/wppfile"
 )
 
-// TestCompactedTruncationRobustness verifies that no prefix of a valid
-// compacted file can panic the reader: every truncation must either
-// fail to open, fail to read, or decode cleanly (a prefix that happens
-// to end exactly at a section boundary can be partially readable).
-func TestCompactedTruncationRobustness(t *testing.T) {
-	rng := rand.New(rand.NewSource(100))
-	_, tw := buildTWPP(t, rng, 30)
-	full, err := EncodeCompacted(tw)
+// The corruption sweeps drive every decode surface over systematically
+// damaged images via the shared fault-injection kit: any panic or any
+// unstructured (stringly-typed) error fails the test. The exhaustive
+// every-offset sweep over all shapes lives in the root hardening test;
+// these keep per-package coverage fast with strided sweeps.
+
+func sweepImages(t *testing.T, shape testkit.Shape) (raw, compacted []byte) {
+	t.Helper()
+	w := testkit.Generate(testkit.Config{Seed: 100 + int64(shape), Shape: shape})
+	raw, compacted, err := testkit.EncodeBoth(w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dir := t.TempDir()
-	for n := 0; n < len(full); n += 1 + n/16 {
-		p := filepath.Join(dir, "trunc")
-		if err := os.WriteFile(p, full[:n], 0o644); err != nil {
-			t.Fatal(err)
-		}
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					t.Fatalf("panic at truncation %d: %v", n, r)
+	return raw, compacted
+}
+
+func TestCompactedCorruptionSweep(t *testing.T) {
+	for _, shape := range []testkit.Shape{testkit.Regular, testkit.Irregular, testkit.DeepRecursion} {
+		shape := shape
+		t.Run(shape.String(), func(t *testing.T) {
+			t.Parallel()
+			_, compacted := sweepImages(t, shape)
+			dir := t.TempDir()
+			check := func(m testkit.Mutation) {
+				if err := testkit.CheckCompactedDecode(dir, m.Data, wppfile.OpenOptions{}); err != nil {
+					t.Fatalf("%s: %v", m.Desc, err)
 				}
-			}()
-			cf, err := OpenCompacted(p)
-			if err != nil {
-				return
 			}
-			defer cf.Close()
-			for _, fn := range cf.Functions() {
-				_, _ = cf.ExtractFunction(fn)
-			}
-			_, _ = cf.ReadDCG()
-		}()
+			testkit.SweepTruncations(compacted, 1+len(compacted)/256, check)
+			testkit.SweepBitFlips(compacted, 1+len(compacted)/128, check)
+			testkit.SweepInflations(compacted, 1+len(compacted)/128, check)
+			testkit.SweepSplices(compacted, 1+len(compacted)/128, check)
+		})
 	}
 }
 
-// TestCompactedBitflipRobustness flips bytes throughout a valid file
-// and requires error-or-success without panics.
-func TestCompactedBitflipRobustness(t *testing.T) {
-	rng := rand.New(rand.NewSource(101))
-	_, tw := buildTWPP(t, rng, 20)
-	full, err := EncodeCompacted(tw)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dir := t.TempDir()
-	for trial := 0; trial < 200; trial++ {
-		mut := append([]byte(nil), full...)
-		for k := 0; k < 1+rng.Intn(4); k++ {
-			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
-		}
-		p := filepath.Join(dir, "mut")
-		if err := os.WriteFile(p, mut, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					t.Fatalf("panic on mutated file (trial %d): %v", trial, r)
-				}
-			}()
-			cf, err := OpenCompacted(p)
-			if err != nil {
-				return
-			}
-			defer cf.Close()
-			for _, fn := range cf.Functions() {
-				if ft, err := cf.ExtractFunction(fn); err == nil {
-					// Decoded data may be wrong but must be safe to
-					// walk.
-					for i := range ft.Traces {
-						_, _ = ft.Traces[i].ToPath()
-					}
+func TestRawCorruptionSweep(t *testing.T) {
+	for _, shape := range []testkit.Shape{testkit.Regular, testkit.Irregular} {
+		shape := shape
+		t.Run(shape.String(), func(t *testing.T) {
+			t.Parallel()
+			raw, _ := sweepImages(t, shape)
+			dir := t.TempDir()
+			check := func(m testkit.Mutation) {
+				if err := testkit.CheckRawDecode(dir, m.Data); err != nil {
+					t.Fatalf("%s: %v", m.Desc, err)
 				}
 			}
-			_, _ = cf.ReadDCG()
-		}()
+			testkit.SweepTruncations(raw, 1+len(raw)/256, check)
+			testkit.SweepBitFlips(raw, 1+len(raw)/128, check)
+			testkit.SweepInflations(raw, 1+len(raw)/128, check)
+			testkit.SweepSplices(raw, 1+len(raw)/128, check)
+		})
 	}
 }
 
-// TestRawTruncationRobustness does the same for the uncompacted
-// format.
-func TestRawTruncationRobustness(t *testing.T) {
-	rng := rand.New(rand.NewSource(102))
-	w := sampleWPP(rng, 20)
+// Every strict prefix of a raw file must fail to read: the symbol
+// stream always ends mid-call or mid-varint except at full length.
+func TestRawTruncationAlwaysErrors(t *testing.T) {
+	raw, _ := sweepImages(t, testkit.Periodic)
 	dir := t.TempDir()
-	p := filepath.Join(dir, "full")
-	if err := WriteRaw(p, w); err != nil {
-		t.Fatal(err)
-	}
-	full, err := os.ReadFile(p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for n := 0; n < len(full); n += 1 + n/16 {
-		tp := filepath.Join(dir, "trunc")
-		if err := os.WriteFile(tp, full[:n], 0o644); err != nil {
+	p := filepath.Join(dir, "trunc.wpp")
+	testkit.SweepTruncations(raw, 1, func(m testkit.Mutation) {
+		if err := os.WriteFile(p, m.Data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := ReadRaw(tp); err == nil && n < len(full)-1 {
-			// A shorter stream can still be well-formed only if it
-			// ends exactly at a call boundary, which the builder's
-			// stream shape makes impossible except at full length.
-			t.Errorf("truncation to %d bytes read without error", n)
+		if _, err := wppfile.ReadRaw(p); err == nil {
+			t.Errorf("%s: read without error", m.Desc)
 		}
-		_, _ = ScanRawForFunction(tp, 0)
-	}
+	})
 }
 
-// TestEncodeCompactedEmptyTWPP covers the degenerate single-call WPP.
+// TestEncodeCompactedDegenerate covers the degenerate single-call WPP.
 func TestEncodeCompactedDegenerate(t *testing.T) {
 	tw := &core.TWPP{
 		FuncNames: []string{"main"},
@@ -133,10 +97,10 @@ func TestEncodeCompactedDegenerate(t *testing.T) {
 		}},
 	}
 	p := filepath.Join(t.TempDir(), "tiny.twpp")
-	if err := WriteCompacted(p, tw); err != nil {
+	if err := wppfile.WriteCompacted(p, tw); err != nil {
 		t.Fatal(err)
 	}
-	cf, err := OpenCompacted(p)
+	cf, err := wppfile.OpenCompacted(p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package wppfile
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -52,20 +53,37 @@ func (rr *RawStreamReader) Names() []string { return rr.names }
 // Replay decodes the remaining symbol stream and feeds it into sink as
 // validated trace events, consuming the reader.
 func (rr *RawStreamReader) Replay(sink trace.EventSink) error {
-	d := &trace.Demux{Sink: sink}
+	return rr.ReplayCtx(context.Background(), sink)
+}
+
+// ReplayCtx is Replay with cooperative cancellation, polled every few
+// thousand symbols so a canceled context abandons an arbitrarily long
+// stream promptly. The header declares every function, so the demux is
+// armed with that bound (trace.Demux.NumFuncs): an ENTER beyond the
+// name table is rejected as a structured *trace.StreamError before any
+// sink sizes per-function state by an attacker-controlled id.
+func (rr *RawStreamReader) ReplayCtx(ctx context.Context, sink trace.EventSink) error {
+	d := &trace.Demux{Sink: sink, NumFuncs: len(rr.names)}
+	const cancelStride = 1 << 13
+	n := 0
 	for !rr.c.Done() {
+		if n%cancelStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		n++
+		symAt := rr.c.Pos()
 		sym, err := rr.c.Uvarint()
 		if err != nil {
 			return err
 		}
 		if sym > math.MaxUint32 {
-			return fmt.Errorf("wppfile: symbol %d out of range", sym)
+			return encoding.Errf(encoding.CodeCorrupt, int64(symAt), "wppfile: symbol %d out of range", sym)
 		}
-		// The header declares every function; an ENTER beyond the name
-		// table is corruption, and rejecting it here keeps sinks from
-		// sizing per-function state by an attacker-controlled id.
-		if f, ok := sequitur.IsEnter(uint32(sym)); ok && f >= len(rr.names) {
-			return fmt.Errorf("wppfile: ENTER for function %d, but header declares %d", f, len(rr.names))
+		// A header with an empty name table declares no callable
+		// functions at all; Demux treats NumFuncs == 0 as "no bound", so
+		// keep the historical strictness here.
+		if f, ok := sequitur.IsEnter(uint32(sym)); ok && len(rr.names) == 0 {
+			return &trace.StreamError{Kind: trace.StreamUnknownFunc, Pos: n - 1, Sym: uint32(sym), Func: cfg.FuncID(f)}
 		}
 		if err := d.Feed(uint32(sym)); err != nil {
 			return err

@@ -14,16 +14,18 @@ package wppfile
 
 import (
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"twpp/internal/cfg"
 	"twpp/internal/core"
 	"twpp/internal/encoding"
 	"twpp/internal/lzw"
-	"twpp/internal/sequitur"
 	"twpp/internal/trace"
 	"twpp/internal/wpp"
 )
@@ -88,6 +90,7 @@ type rawHeaderCursor interface {
 	Uvarint() (uint64, error)
 	String() (string, error)
 	Len() int
+	Pos() int
 }
 
 func readRawHeader(c rawHeaderCursor) ([]string, error) {
@@ -96,21 +99,23 @@ func readRawHeader(c rawHeaderCursor) ([]string, error) {
 		return nil, err
 	}
 	if magic != MagicRaw {
-		return nil, fmt.Errorf("wppfile: bad raw magic %#x", magic)
+		return nil, encoding.Errf(encoding.CodeBadMagic, 0, "wppfile: bad raw magic %#x", magic)
 	}
+	verAt := c.Pos()
 	ver, err := c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
 	if ver != Version {
-		return nil, fmt.Errorf("wppfile: unsupported raw version %d", ver)
+		return nil, encoding.Errf(encoding.CodeBadVersion, int64(verAt), "wppfile: unsupported raw version %d", ver)
 	}
+	nfAt := c.Pos()
 	nf, err := c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
 	if nf > uint64(c.Len()) {
-		return nil, fmt.Errorf("wppfile: function count %d exceeds file size", nf)
+		return nil, encoding.Errf(encoding.CodeCorrupt, int64(nfAt), "wppfile: function count %d exceeds file size", nf)
 	}
 	// Grow incrementally with a capped initial capacity: a corrupt
 	// count from a size-unknown stream then fails on a truncated read
@@ -130,11 +135,47 @@ func readRawHeader(c rawHeaderCursor) ([]string, error) {
 	return names, nil
 }
 
+// scanSink is the trace.EventSink behind ScanRawForFunction: it keeps
+// only the open-call stack and collects the traces of the one target
+// function. Structural validation (balanced calls, blocks inside
+// calls, ENTER ids within the declared table) is the Demux's job.
+type scanSink struct {
+	target cfg.FuncID
+	stack  []scanFrame
+	out    []wpp.PathTrace
+}
+
+type scanFrame struct {
+	isTarget bool
+	tr       wpp.PathTrace
+}
+
+func (s *scanSink) EnterCall(f cfg.FuncID) {
+	s.stack = append(s.stack, scanFrame{isTarget: f == s.target})
+}
+
+func (s *scanSink) Block(id cfg.BlockID) {
+	top := &s.stack[len(s.stack)-1]
+	if top.isTarget {
+		top.tr = append(top.tr, id)
+	}
+}
+
+func (s *scanSink) ExitCall() {
+	top := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	if top.isTarget {
+		s.out = append(s.out, top.tr)
+	}
+}
+
 // ScanRawForFunction extracts every path trace of function fn from an
 // uncompacted WPP file. As in the paper, this must scan the whole
 // file — it is the slow baseline of Table 4 — but the scan streams
 // through a bounded buffer, holding only the open-call stack and the
-// target function's traces.
+// target function's traces. The stream is validated by trace.Demux,
+// so malformed input fails with the same structured errors
+// (*encoding.Error, *trace.StreamError) as every other decode surface.
 func ScanRawForFunction(path string, fn cfg.FuncID) ([]wpp.PathTrace, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -145,50 +186,15 @@ func ScanRawForFunction(path string, fn cfg.FuncID) ([]wpp.PathTrace, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := encoding.NewStreamCursor(f, st.Size())
-	if _, err := readRawHeader(c); err != nil {
+	rr, err := NewRawStreamReader(f, st.Size())
+	if err != nil {
 		return nil, err
 	}
-	type open struct {
-		target bool
-		tr     wpp.PathTrace
+	sink := &scanSink{target: fn}
+	if err := rr.Replay(sink); err != nil {
+		return nil, err
 	}
-	var stack []open
-	var out []wpp.PathTrace
-	for !c.Done() {
-		symU, err := c.Uvarint()
-		if err != nil {
-			return nil, err
-		}
-		sym := uint32(symU)
-		switch {
-		case sym == sequitur.ExitMarker:
-			if len(stack) == 0 {
-				return nil, fmt.Errorf("wppfile: EXIT with empty stack")
-			}
-			top := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if top.target {
-				out = append(out, top.tr)
-			}
-		default:
-			if f, ok := sequitur.IsEnter(sym); ok {
-				stack = append(stack, open{target: cfg.FuncID(f) == fn})
-			} else {
-				if len(stack) == 0 {
-					return nil, fmt.Errorf("wppfile: block outside any call")
-				}
-				top := &stack[len(stack)-1]
-				if top.target {
-					top.tr = append(top.tr, cfg.BlockID(sym))
-				}
-			}
-		}
-	}
-	if len(stack) != 0 {
-		return nil, fmt.Errorf("wppfile: %d unclosed calls", len(stack))
-	}
-	return out, nil
+	return sink.out, nil
 }
 
 // ---------------------------------------------------------------------
@@ -321,7 +327,13 @@ func encodeFunctionBlock(buf []byte, ft *core.FunctionTWPP) []byte {
 	return buf
 }
 
-func decodeFunctionBlock(data []byte, fn cfg.FuncID) (*core.FunctionTWPP, error) {
+// decodeFunctionBlock decodes one function's block. Offsets in the
+// returned errors are relative to the block start. Every declared
+// count is checked against both the remaining input (CodeCorrupt — a
+// well-formed block cannot declare more items than it has bytes) and
+// the configured resource limits (CodeLimit) before any allocation is
+// sized by it.
+func decodeFunctionBlock(data []byte, fn cfg.FuncID, lim limits) (*core.FunctionTWPP, error) {
 	c := encoding.NewCursor(data)
 	ft := &core.FunctionTWPP{Fn: fn}
 	cc, err := c.Uvarint()
@@ -334,7 +346,7 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID) (*core.FunctionTWPP, error)
 		return nil, err
 	}
 	if nd > uint64(c.Len()) {
-		return nil, fmt.Errorf("wppfile: dictionary count %d too large", nd)
+		return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: dictionary count %d too large", nd)
 	}
 	ft.Dicts = make([]wpp.Dictionary, nd)
 	for i := range ft.Dicts {
@@ -343,7 +355,7 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID) (*core.FunctionTWPP, error)
 			return nil, err
 		}
 		if nh > uint64(c.Len()) {
-			return nil, fmt.Errorf("wppfile: chain count %d too large", nh)
+			return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: chain count %d too large", nh)
 		}
 		d := make(wpp.Dictionary, nh)
 		for j := uint64(0); j < nh; j++ {
@@ -356,7 +368,7 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID) (*core.FunctionTWPP, error)
 				return nil, err
 			}
 			if cl > uint64(c.Len()) {
-				return nil, fmt.Errorf("wppfile: chain length %d too large", cl)
+				return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: chain length %d too large", cl)
 			}
 			chain := make(wpp.PathTrace, cl)
 			for k := range chain {
@@ -375,7 +387,11 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID) (*core.FunctionTWPP, error)
 		return nil, err
 	}
 	if nt > uint64(c.Len()) {
-		return nil, fmt.Errorf("wppfile: trace count %d too large", nt)
+		return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: trace count %d too large", nt)
+	}
+	if nt > lim.maxFuncTraces {
+		return nil, encoding.Errf(encoding.CodeLimit, int64(c.Pos()),
+			"wppfile: function %d declares %d traces, limit %d", fn, nt, lim.maxFuncTraces)
 	}
 	ft.Traces = make([]*core.Trace, nt)
 	ft.DictOf = make([]int, nt)
@@ -385,19 +401,24 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID) (*core.FunctionTWPP, error)
 			return nil, err
 		}
 		if di >= nd {
-			return nil, fmt.Errorf("wppfile: dictionary index %d out of range (%d dictionaries)", di, nd)
+			return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()),
+				"wppfile: dictionary index %d out of range (%d dictionaries)", di, nd)
 		}
 		ft.DictOf[i] = int(di)
 		length, err := c.Uvarint()
 		if err != nil {
 			return nil, err
 		}
+		if length > lim.maxSeqValues {
+			return nil, encoding.Errf(encoding.CodeLimit, int64(c.Pos()),
+				"wppfile: trace length %d exceeds limit %d", length, lim.maxSeqValues)
+		}
 		nb, err := c.Uvarint()
 		if err != nil {
 			return nil, err
 		}
 		if nb > uint64(c.Len()) {
-			return nil, fmt.Errorf("wppfile: block count %d too large", nb)
+			return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: block count %d too large", nb)
 		}
 		tr := &core.Trace{Len: int(length), Blocks: make([]core.BlockTimes, nb)}
 		for j := range tr.Blocks {
@@ -410,7 +431,11 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID) (*core.FunctionTWPP, error)
 				return nil, err
 			}
 			if nv > uint64(c.Len()) {
-				return nil, fmt.Errorf("wppfile: value count %d too large", nv)
+				return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: value count %d too large", nv)
+			}
+			if nv > lim.maxSeqValues {
+				return nil, encoding.Errf(encoding.CodeLimit, int64(c.Pos()),
+					"wppfile: timestamp value count %d exceeds limit %d", nv, lim.maxSeqValues)
 			}
 			vals := make([]int64, nv)
 			for k := range vals {
@@ -420,14 +445,14 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID) (*core.FunctionTWPP, error)
 			}
 			seq, err := core.DecodeSigned(vals)
 			if err != nil {
-				return nil, err
+				return nil, encoding.Wrap(encoding.CodeCorrupt, int64(c.Pos()), err, "")
 			}
 			tr.Blocks[j] = core.BlockTimes{Block: cfg.BlockID(bid), Times: seq}
 		}
 		ft.Traces[i] = tr
 	}
 	if !c.Done() {
-		return nil, fmt.Errorf("wppfile: %d trailing bytes in function block", c.Len())
+		return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: %d trailing bytes in function block", c.Len())
 	}
 	return ft, nil
 }
@@ -459,7 +484,7 @@ func decodeDCG(data []byte) (*wpp.CallNode, error) {
 	var rec func(depth int) (*wpp.CallNode, error)
 	rec = func(depth int) (*wpp.CallNode, error) {
 		if depth > 1<<20 {
-			return nil, fmt.Errorf("wppfile: DCG nesting too deep")
+			return nil, encoding.Errf(encoding.CodeLimit, int64(c.Pos()), "wppfile: DCG nesting too deep")
 		}
 		fn, err := c.Uvarint()
 		if err != nil {
@@ -474,7 +499,7 @@ func decodeDCG(data []byte) (*wpp.CallNode, error) {
 			return nil, err
 		}
 		if nc > uint64(c.Len()) {
-			return nil, fmt.Errorf("wppfile: DCG child count %d too large", nc)
+			return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: DCG child count %d too large", nc)
 		}
 		n := &wpp.CallNode{Fn: cfg.FuncID(fn), TraceIdx: int(ti)}
 		prev := 0
@@ -499,7 +524,7 @@ func decodeDCG(data []byte) (*wpp.CallNode, error) {
 		return nil, err
 	}
 	if !c.Done() {
-		return nil, fmt.Errorf("wppfile: %d trailing bytes after DCG", c.Len())
+		return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: %d trailing bytes after DCG", c.Len())
 	}
 	return root, nil
 }
@@ -528,15 +553,89 @@ type CompactedFile struct {
 	dcgLen       int
 	blocksOffset int64
 	size         int64
+	// lim holds the resolved decode resource limits from OpenOptions.
+	lim limits
 	// cache, when non-nil, holds recently decoded function blocks.
 	cache *decodeCache
+	// closeOnce/closed make Close idempotent and let extraction fail
+	// fast (wrapping os.ErrClosed) instead of racing the descriptor.
+	closeOnce sync.Once
+	closeErr  error
+	closed    atomic.Bool
 }
+
+// NoLimit disables an OpenOptions resource limit (a zero value selects
+// the default instead).
+const NoLimit = -1
+
+// Default decode resource limits. They are far above anything the
+// encoder produces for real profiles, so hitting one means the input
+// is hostile or corrupt, not large.
+const (
+	// DefaultMaxTraceBytes caps a single function block's encoded
+	// length and the decompressed DCG size (1 GiB).
+	DefaultMaxTraceBytes = int64(1) << 30
+	// DefaultMaxFuncTraces caps the declared unique-trace count of one
+	// function block.
+	DefaultMaxFuncTraces = 1 << 21
+	// DefaultMaxSeqValues caps a declared trace length and a declared
+	// per-block timestamp value count, bounding the allocation a single
+	// length field can demand before any of its values decode.
+	DefaultMaxSeqValues = 1 << 24
+)
 
 // OpenOptions configures OpenCompactedOptions.
 type OpenOptions struct {
 	// CacheEntries sizes the sharded LRU cache of decoded function
 	// blocks. 0 disables caching (every extraction decodes afresh).
 	CacheEntries int
+
+	// MaxTraceBytes caps a single function block's encoded length (as
+	// declared by the index) and the decompressed size of the DCG.
+	// 0 selects DefaultMaxTraceBytes; NoLimit disables the cap.
+	MaxTraceBytes int64
+	// MaxFuncTraces caps the unique-trace count a function block may
+	// declare. 0 selects DefaultMaxFuncTraces; NoLimit disables.
+	MaxFuncTraces int
+	// MaxSeqValues caps declared trace lengths and per-block timestamp
+	// value counts before anything is allocated for them. 0 selects
+	// DefaultMaxSeqValues; NoLimit disables.
+	MaxSeqValues int
+}
+
+// limits is an OpenOptions with defaults resolved: every field is a
+// directly comparable bound.
+type limits struct {
+	maxTraceBytes int64
+	maxFuncTraces uint64
+	maxSeqValues  uint64
+}
+
+func (o OpenOptions) resolve() limits {
+	l := limits{
+		maxTraceBytes: o.MaxTraceBytes,
+		maxFuncTraces: uint64(o.MaxFuncTraces),
+		maxSeqValues:  uint64(o.MaxSeqValues),
+	}
+	switch {
+	case o.MaxTraceBytes == 0:
+		l.maxTraceBytes = DefaultMaxTraceBytes
+	case o.MaxTraceBytes < 0:
+		l.maxTraceBytes = math.MaxInt64
+	}
+	switch {
+	case o.MaxFuncTraces == 0:
+		l.maxFuncTraces = DefaultMaxFuncTraces
+	case o.MaxFuncTraces < 0:
+		l.maxFuncTraces = math.MaxUint64
+	}
+	switch {
+	case o.MaxSeqValues == 0:
+		l.maxSeqValues = DefaultMaxSeqValues
+	case o.MaxSeqValues < 0:
+		l.maxSeqValues = math.MaxUint64
+	}
+	return l
 }
 
 // OpenCompacted opens a compacted TWPP file with caching disabled,
@@ -573,6 +672,7 @@ func OpenCompactedOptions(path string, opts OpenOptions) (*CompactedFile, error)
 		f:     f,
 		index: make(map[cfg.FuncID]indexEntry),
 		size:  st.Size(),
+		lim:   opts.resolve(),
 		cache: newDecodeCache(opts.CacheEntries),
 	}
 	parse := func(head []byte) error {
@@ -582,21 +682,21 @@ func OpenCompactedOptions(path string, opts OpenOptions) (*CompactedFile, error)
 			return err
 		}
 		if magic != MagicCompacted {
-			return fmt.Errorf("wppfile: bad compacted magic %#x", magic)
+			return encoding.Errf(encoding.CodeBadMagic, 0, "wppfile: bad compacted magic %#x", magic)
 		}
 		ver, err := c.Uvarint()
 		if err != nil {
 			return err
 		}
 		if ver != Version {
-			return fmt.Errorf("wppfile: unsupported version %d", ver)
+			return encoding.Errf(encoding.CodeBadVersion, 4, "wppfile: unsupported version %d", ver)
 		}
 		nf, err := c.Uvarint()
 		if err != nil {
 			return err
 		}
 		if nf > uint64(st.Size()) {
-			return fmt.Errorf("wppfile: function count %d too large", nf)
+			return encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: function count %d too large", nf)
 		}
 		cf.FuncNames = make([]string, nf)
 		for i := range cf.FuncNames {
@@ -609,14 +709,22 @@ func OpenCompactedOptions(path string, opts OpenOptions) (*CompactedFile, error)
 			return err
 		}
 		if ni > uint64(st.Size()) {
-			return fmt.Errorf("wppfile: index count %d too large", ni)
+			return encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: index count %d too large", ni)
 		}
 		cf.order = cf.order[:0]
 		for i := uint64(0); i < ni; i++ {
 			var e indexEntry
+			entryAt := int64(c.Pos())
 			v, err := c.Uvarint()
 			if err != nil {
 				return err
+			}
+			// The encoder only indexes functions it named; an id beyond
+			// the name table would later size allocations (ReadAll's Funcs
+			// slice) from an attacker-controlled value.
+			if v >= nf {
+				return encoding.Errf(encoding.CodeCorrupt, entryAt,
+					"wppfile: index entry function id %d beyond name table (%d names)", v, nf)
 			}
 			e.Fn = cfg.FuncID(v)
 			if v, err = c.Uvarint(); err != nil {
@@ -631,16 +739,43 @@ func OpenCompactedOptions(path string, opts OpenOptions) (*CompactedFile, error)
 				return err
 			}
 			e.Length = int(v)
+			if e.Offset < 0 || e.Length < 0 {
+				return encoding.Errf(encoding.CodeCorrupt, entryAt,
+					"wppfile: index entry for function %d has negative bounds", e.Fn)
+			}
+			if int64(e.Length) > cf.lim.maxTraceBytes {
+				return encoding.Errf(encoding.CodeLimit, entryAt,
+					"wppfile: function %d block is %d bytes, limit %d", e.Fn, e.Length, cf.lim.maxTraceBytes)
+			}
 			cf.index[e.Fn] = e
 			cf.order = append(cf.order, e.Fn)
 		}
+		dlAt := int64(c.Pos())
 		dl, err := c.Uvarint()
 		if err != nil {
 			return err
 		}
+		if dl > uint64(st.Size()) {
+			return encoding.Errf(encoding.CodeCorrupt, dlAt, "wppfile: DCG length %d exceeds file size", dl)
+		}
 		cf.dcgLen = int(dl)
 		cf.dcgOffset = int64(c.Pos())
 		cf.blocksOffset = cf.dcgOffset + int64(dl)
+		if cf.blocksOffset > cf.size {
+			return encoding.Errf(encoding.CodeTruncated, dlAt,
+				"wppfile: DCG section (%d bytes at offset %d) extends past end of file", dl, cf.dcgOffset)
+		}
+		// Every index entry must lie within the blocks section; checked
+		// here, once, so extraction is a bounds-trusted positioned read.
+		blocksSize := cf.size - cf.blocksOffset
+		for _, fn := range cf.order {
+			e := cf.index[fn]
+			if int64(e.Offset)+int64(e.Length) > blocksSize {
+				return encoding.Errf(encoding.CodeTruncated, -1,
+					"wppfile: function %d block (%d bytes at offset %d) extends past end of file (%d-byte blocks section)",
+					e.Fn, e.Length, e.Offset, blocksSize)
+			}
+		}
 		return nil
 	}
 	if err := parse(head); err != nil {
@@ -664,8 +799,18 @@ func OpenCompactedOptions(path string, opts OpenOptions) (*CompactedFile, error)
 	return cf, nil
 }
 
-// Close releases the underlying file.
-func (cf *CompactedFile) Close() error { return cf.f.Close() }
+// Close releases the underlying file. It is idempotent and safe to
+// call concurrently with extractions: the first call closes the
+// descriptor and records the result, later calls return that same
+// result, and extractions started after Close fail with an error
+// wrapping os.ErrClosed.
+func (cf *CompactedFile) Close() error {
+	cf.closeOnce.Do(func() {
+		cf.closed.Store(true)
+		cf.closeErr = cf.f.Close()
+	})
+	return cf.closeErr
+}
 
 // Functions returns the function ids present, hottest first.
 func (cf *CompactedFile) Functions() []cfg.FuncID {
@@ -685,6 +830,9 @@ func (cf *CompactedFile) CallCount(fn cfg.FuncID) int {
 // both the read and the decode; the returned block is then shared and
 // must be treated as read-only.
 func (cf *CompactedFile) ExtractFunction(fn cfg.FuncID) (*core.FunctionTWPP, error) {
+	if cf.closed.Load() {
+		return nil, fmt.Errorf("wppfile: extract function %d: %w", fn, os.ErrClosed)
+	}
 	if cf.cache != nil {
 		if ft, ok := cf.cache.get(fn); ok {
 			return ft, nil
@@ -696,9 +844,13 @@ func (cf *CompactedFile) ExtractFunction(fn cfg.FuncID) (*core.FunctionTWPP, err
 	}
 	buf := make([]byte, e.Length)
 	if _, err := cf.f.ReadAt(buf, cf.blocksOffset+int64(e.Offset)); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, encoding.Wrap(encoding.CodeTruncated, cf.blocksOffset+int64(e.Offset), err,
+				fmt.Sprintf("wppfile: short read of function %d block", fn))
+		}
 		return nil, err
 	}
-	ft, err := decodeFunctionBlock(buf, fn)
+	ft, err := decodeFunctionBlock(buf, fn, cf.lim)
 	if err != nil {
 		return nil, err
 	}
@@ -717,15 +869,27 @@ func (cf *CompactedFile) CacheStats() (hits, misses uint64) {
 	return cf.cache.stats()
 }
 
-// ReadDCG decompresses and decodes the dynamic call graph.
+// ReadDCG decompresses and decodes the dynamic call graph. The
+// decompressed size is capped by OpenOptions.MaxTraceBytes, so a
+// hostile DCG section cannot balloon (LZW expands up to ~65000x).
 func (cf *CompactedFile) ReadDCG() (*wpp.CallNode, error) {
+	if cf.closed.Load() {
+		return nil, fmt.Errorf("wppfile: read DCG: %w", os.ErrClosed)
+	}
 	buf := make([]byte, cf.dcgLen)
 	if _, err := cf.f.ReadAt(buf, cf.dcgOffset); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, encoding.Wrap(encoding.CodeTruncated, cf.dcgOffset, err, "wppfile: short read of DCG section")
+		}
 		return nil, err
 	}
-	raw, err := lzw.Decompress(buf)
+	max := cf.lim.maxTraceBytes
+	if max > math.MaxInt {
+		max = math.MaxInt
+	}
+	raw, err := lzw.DecompressLimit(buf, int(max))
 	if err != nil {
-		return nil, err
+		return nil, encoding.Wrap(encoding.CodeCorrupt, cf.dcgOffset, err, "wppfile: DCG")
 	}
 	return decodeDCG(raw)
 }
@@ -756,6 +920,28 @@ func (cf *CompactedFile) ReadAll() (*core.TWPP, error) {
 			return nil, err
 		}
 		t.Funcs[fn] = *ft
+	}
+	// Validate every DCG reference against the decoded blocks so
+	// downstream walkers (reconstruction, slicing, queries) can index
+	// Funcs and Traces without re-checking corrupt input.
+	var walk func(n *wpp.CallNode) error
+	walk = func(n *wpp.CallNode) error {
+		if n == nil {
+			return nil
+		}
+		if int(n.Fn) >= len(t.Funcs) || n.TraceIdx < 0 || n.TraceIdx >= len(t.Funcs[n.Fn].Traces) {
+			return encoding.Errf(encoding.CodeCorrupt, cf.dcgOffset,
+				"wppfile: DCG node references function %d trace %d, not in file", n.Fn, n.TraceIdx)
+		}
+		for _, ch := range n.Children {
+			if err := walk(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -2,6 +2,7 @@ package twpp
 
 import (
 	"bufio"
+	"context"
 	"io"
 	"os"
 
@@ -34,15 +35,23 @@ type StreamResult struct {
 // WriteFileOpts on the same input, at any opts.Workers value, and
 // malformed input fails with the same errors as ReadRawFile.
 func StreamCompact(r io.Reader, w io.Writer, opts CompactOptions) (*StreamResult, error) {
+	return StreamCompactContext(context.Background(), r, w, opts)
+}
+
+// StreamCompactContext is StreamCompact with cooperative cancellation:
+// ctx is polled every few thousand input symbols and between
+// per-function assembly steps, so canceling abandons the ingestion
+// promptly with ctx.Err().
+func StreamCompactContext(ctx context.Context, r io.Reader, w io.Writer, opts CompactOptions) (*StreamResult, error) {
 	rr, err := wppfile.NewRawStreamReader(r, streamSize(r))
 	if err != nil {
 		return nil, err
 	}
 	s := core.NewStreamCompactor(rr.Names())
-	if err := rr.Replay(s); err != nil {
+	if err := rr.ReplayCtx(ctx, s); err != nil {
 		return nil, err
 	}
-	tw, stats, err := s.Finish()
+	tw, stats, err := s.FinishCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -57,6 +66,13 @@ func StreamCompact(r io.Reader, w io.Writer, opts CompactOptions) (*StreamResult
 // StreamCompactFile is StreamCompact over named files, buffering the
 // output writes.
 func StreamCompactFile(inPath, outPath string, opts CompactOptions) (*StreamResult, error) {
+	return StreamCompactFileContext(context.Background(), inPath, outPath, opts)
+}
+
+// StreamCompactFileContext is StreamCompactFile with cooperative
+// cancellation; on any failure (including cancellation) the partial
+// output file is removed.
+func StreamCompactFileContext(ctx context.Context, inPath, outPath string, opts CompactOptions) (*StreamResult, error) {
 	in, err := os.Open(inPath)
 	if err != nil {
 		return nil, err
@@ -67,7 +83,7 @@ func StreamCompactFile(inPath, outPath string, opts CompactOptions) (*StreamResu
 		return nil, err
 	}
 	bw := bufio.NewWriterSize(out, 1<<16)
-	res, err := StreamCompact(in, bw, opts)
+	res, err := StreamCompactContext(ctx, in, bw, opts)
 	if err != nil {
 		out.Close()
 		os.Remove(outPath)

@@ -32,9 +32,12 @@
 package twpp
 
 import (
+	"context"
+
 	"twpp/internal/cfg"
 	"twpp/internal/core"
 	"twpp/internal/dataflow"
+	"twpp/internal/encoding"
 	"twpp/internal/interp"
 	"twpp/internal/minilang"
 	"twpp/internal/sequitur"
@@ -185,8 +188,28 @@ type CompactOptions struct {
 // CompactOpts is Compact with explicit options. The produced TWPP is
 // identical for every worker count; only wall-clock time changes.
 func CompactOpts(w *RawWPP, opts CompactOptions) (*TWPP, CompactStats) {
-	c, stats := wpp.CompactWorkers(w, opts.Workers)
-	return core.FromCompactedWorkers(c, opts.Workers), stats
+	t, stats, err := CompactContext(context.Background(), w, opts)
+	if err != nil {
+		// Background is never canceled; no other error source exists.
+		panic(err)
+	}
+	return t, stats
+}
+
+// CompactContext is CompactOpts with cooperative cancellation: the
+// pipeline polls ctx between per-function work items (and every few
+// thousand DCG nodes), so canceling abandons a large compaction
+// promptly with ctx.Err() and discards the partial result.
+func CompactContext(ctx context.Context, w *RawWPP, opts CompactOptions) (*TWPP, CompactStats, error) {
+	c, stats, err := wpp.CompactWorkersCtx(ctx, w, opts.Workers)
+	if err != nil {
+		return nil, CompactStats{}, err
+	}
+	t, err := core.FromCompactedWorkersCtx(ctx, c, opts.Workers)
+	if err != nil {
+		return nil, CompactStats{}, err
+	}
+	return t, stats, nil
 }
 
 // Reconstruct inverts Compact, recovering a WPP Linear-equal to the
@@ -218,8 +241,41 @@ func OpenFile(path string) (*File, error) {
 	return wppfile.OpenCompacted(path)
 }
 
-// OpenOptions configures OpenFileOpts.
+// OpenOptions configures OpenFileOpts: the decode cache size and the
+// decode resource limits (MaxTraceBytes, MaxFuncTraces, MaxSeqValues)
+// enforced against hostile or corrupt inputs.
 type OpenOptions = wppfile.OpenOptions
+
+// NoLimit disables an OpenOptions resource limit; zero values select
+// the defaults below.
+const (
+	NoLimit              = wppfile.NoLimit
+	DefaultMaxTraceBytes = wppfile.DefaultMaxTraceBytes
+	DefaultMaxFuncTraces = wppfile.DefaultMaxFuncTraces
+	DefaultMaxSeqValues  = wppfile.DefaultMaxSeqValues
+)
+
+// Structured error types reported by the decode surfaces. DecodeError
+// carries a machine-dispatchable code and byte offset (errors.As);
+// StreamError classifies malformed trace event streams. The
+// ErrTruncated sentinel matches any truncation via errors.Is.
+type (
+	DecodeError = encoding.Error
+	StreamError = trace.StreamError
+)
+
+// Decode failure codes (DecodeError.Code).
+const (
+	CodeTruncated  = encoding.CodeTruncated
+	CodeOverflow   = encoding.CodeOverflow
+	CodeBadMagic   = encoding.CodeBadMagic
+	CodeBadVersion = encoding.CodeBadVersion
+	CodeCorrupt    = encoding.CodeCorrupt
+	CodeLimit      = encoding.CodeLimit
+)
+
+// ErrTruncated matches (errors.Is) every truncated-input failure.
+var ErrTruncated = encoding.ErrTruncated
 
 // OpenFileOpts is OpenFile with options: OpenOptions.CacheEntries > 0
 // enables a sharded LRU cache of decoded per-function blocks, so
