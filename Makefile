@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint cover bench bench-json bench-mem fuzz-seed ci
+.PHONY: build test race vet lint cover bench bench-json bench-mem bench-serve serve-test fuzz-seed ci
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,20 @@ bench-json:
 bench-mem:
 	$(GO) test -run xxx -bench StreamCompact -benchtime 1x .
 
+# Serving-layer gate: the full server test suite — parity oracle over
+# every generator shape, the 16-client load soak, and the corruption
+# sweep — under the race detector, plus the pure-Go serving throughput
+# smoke.
+serve-test:
+	$(GO) test -race ./internal/server/ ./internal/obs/ ./cmd/twpp-serve/
+	$(GO) test -run xxx -bench ServeExtract -benchtime 1x ./internal/server/
+
+# Serving throughput/latency snapshot (BENCH_*_serve.json trajectory
+# format): the 16-client mixed workload over a real listener.
+bench-serve:
+	SERVE_BENCH_OUT=$(CURDIR)/BENCH_$(shell date +%Y%m%d)_serve.json \
+		$(GO) test -run TestWriteServeBenchJSON -v ./internal/server/
+
 # Run the fuzz targets on their seed corpora only (no fuzzing time;
 # the seeded cases run as ordinary tests): the compaction determinism
 # targets at the root and the hostile-input decode targets in wppfile.
@@ -67,4 +81,4 @@ fuzz-seed:
 	$(GO) test -run 'FuzzParallelCompactDeterminism|FuzzStreamCompactDeterminism' .
 	$(GO) test -run 'FuzzDecodeCompacted|FuzzStreamRoundTrip' ./internal/wppfile/
 
-ci: lint build test race fuzz-seed cover bench-mem
+ci: lint build test race serve-test fuzz-seed cover bench-mem

@@ -1,6 +1,8 @@
 package twpp
 
 import (
+	"context"
+
 	"twpp/internal/cfg"
 	"twpp/internal/currency"
 	"twpp/internal/dataflow"
@@ -54,6 +56,13 @@ const (
 // GEN/KILL behaviour.
 func Query(g *TGraph, effect func(BlockID) Effect, n BlockID) (*QueryResult, error) {
 	return dataflow.SolveAll(g, dataflow.ProblemFunc(effect), n)
+}
+
+// QueryContext is Query with cooperative cancellation: ctx is polled
+// once per backward propagation step, so a per-request deadline bounds
+// the work a single query may consume (the twpp-serve request path).
+func QueryContext(ctx context.Context, g *TGraph, effect func(BlockID) Effect, n BlockID) (*QueryResult, error) {
+	return dataflow.SolveAllCtx(ctx, g, dataflow.ProblemFunc(effect), n)
 }
 
 // QueryAt restricts Query to a subset T of n's execution timestamps.

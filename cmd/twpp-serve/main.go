@@ -1,0 +1,133 @@
+// Command twpp-serve is a long-lived HTTP/JSON query server over
+// compacted TWPP files: the paper's single-seek per-function
+// extraction, per-function stats, dynamic-CFG construction, and
+// profile-limited GEN-KILL queries, served concurrently with bounded
+// in-flight work, per-request deadlines, Prometheus metrics, and
+// pprof.
+//
+// Usage:
+//
+//	twpp-serve -in trace.twpp[,more.twpp...] [-addr :7070] [-cache 64]
+//	           [-max-inflight 64] [-timeout 5s] [-quiet]
+//
+// Endpoints (all GET; add ?file=name to select a non-default mount):
+//
+//	/funcs                functions, hottest first
+//	/trace/{fn}[?trace=N] one function's TWPP traces (timestamp maps)
+//	/stats/{fn}           per-function stats summary
+//	/cfg/{fn}?trace=N     timestamp-annotated dynamic CFG
+//	/query?func=F&block=B&gen=ids&kill=ids[&trace=N]
+//	                      profile-limited GEN-KILL query
+//	/metrics              Prometheus text metrics
+//	/debug/pprof/         runtime profiles
+//	/healthz              liveness
+//
+// Mount names are the files' base names without extension. The server
+// drains gracefully on SIGINT/SIGTERM: listeners close, in-flight
+// requests finish (up to the drain timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"twpp/internal/cli"
+	"twpp/internal/server"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "comma-separated compacted TWPP files to mount (required)")
+		addr        = flag.String("addr", ":7070", "listen address")
+		cache       = flag.Int("cache", server.DefaultCacheEntries, "decoded-block LRU cache entries per mounted file")
+		maxInflight = flag.Int("max-inflight", server.DefaultMaxInFlight, "concurrent query requests before 429")
+		timeout     = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline (negative disables)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
+		quiet       = flag.Bool("quiet", false, "suppress per-request log lines")
+	)
+	flag.Parse()
+	cli.Exit("twpp-serve", run(*in, *addr, *cache, *maxInflight, *timeout, *drain, *quiet))
+}
+
+// newServer validates flags, builds the server, and mounts every file.
+// Split from run so tests can drive the full mount path without a
+// listener.
+func newServer(in string, cache, maxInflight int, timeout time.Duration, quiet bool) (*server.Server, error) {
+	if in == "" {
+		return nil, cli.Usagef("missing -in")
+	}
+	if maxInflight < 1 {
+		return nil, cli.Usagef("-max-inflight must be >= 1")
+	}
+	opts := server.Options{
+		CacheEntries:   cache,
+		MaxInFlight:    maxInflight,
+		RequestTimeout: timeout,
+	}
+	if !quiet {
+		opts.LogWriter = os.Stderr
+	}
+	s := server.New(opts)
+	for _, path := range strings.Split(in, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if err := s.Mount(name, path); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if len(s.Mounts()) == 0 {
+		s.Close()
+		return nil, cli.Usagef("-in lists no files")
+	}
+	return s, nil
+}
+
+func run(in, addr string, cache, maxInflight int, timeout, drain time.Duration, quiet bool) error {
+	s, err := newServer(in, cache, maxInflight, timeout, quiet)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "twpp-serve: listening on %s (%d mounts)\n", addr, len(s.Mounts()))
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Drain: stop accepting, let in-flight requests finish.
+		stop()
+		fmt.Fprintf(os.Stderr, "twpp-serve: shutting down (drain %s)\n", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			hs.Close()
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

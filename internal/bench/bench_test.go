@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -145,6 +146,50 @@ func TestMeasureExtraction(t *testing.T) {
 	// so only require it not to lose.
 	if timing.Speedup() < 1 {
 		t.Errorf("speedup = %.2f < 1", timing.Speedup())
+	}
+	// Regression: the extraction harness must engage the decode cache
+	// and surface its counters — the warm pass is all hits, the cold
+	// pass all misses.
+	if timing.CacheHits != uint64(timing.Functions) {
+		t.Errorf("CacheHits = %d, want %d (one per warm-pass extraction)", timing.CacheHits, timing.Functions)
+	}
+	if timing.CacheMisses != uint64(timing.Functions) {
+		t.Errorf("CacheMisses = %d, want %d (one per cold-pass extraction)", timing.CacheMisses, timing.Functions)
+	}
+	if timing.AvgCached == 0 {
+		t.Error("AvgCached = 0, want > 0")
+	}
+}
+
+// Regression for twpp-bench -json omitting the cache counters: the
+// report must carry cache_hits/cache_misses as explicit keys (never
+// dropped by omitempty) whenever extraction timing ran.
+func TestJSONReportCarriesCacheCounters(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Run(mustProfile(t, "130"), 0.05, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing, err := MeasureExtraction(r, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildJSONReport(0.05, 1, []*Result{r}, []*ExtractTiming{timing}, nil)
+	p := rep.Profiles[0]
+	if p.CacheHits == 0 || p.CacheMisses == 0 {
+		t.Errorf("report cache counters = %d/%d, want both > 0", p.CacheHits, p.CacheMisses)
+	}
+	if p.ExtractCachedAvgNs == 0 {
+		t.Error("extract_cached_avg_ns = 0, want > 0")
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"cache_hits"`, `"cache_misses"`, `"extract_cached_avg_ns"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON report missing %s:\n%s", key, data)
+		}
 	}
 }
 

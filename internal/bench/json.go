@@ -48,6 +48,16 @@ type JSONProfile struct {
 	ScanMaxNs             int64   `json:"scan_max_ns,omitempty"`
 	ExtractSpeedupOverRaw float64 `json:"extract_speedup_over_raw,omitempty"`
 
+	// Cache-served extraction latency (ns) and the decode cache's
+	// hit/miss counters over both extraction passes. Deliberately not
+	// omitempty: a zero must be visible as a zero (these counters were
+	// previously dropped from the report entirely, which hid the
+	// cache's behaviour from the performance trajectory).
+	ExtractCachedAvgNs int64  `json:"extract_cached_avg_ns"`
+	ExtractCachedMaxNs int64  `json:"extract_cached_max_ns"`
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+
 	// Pipeline memory footprint (bytes above baseline / heap objects),
 	// batch vs streaming over the same raw file; zero when memory
 	// measurement was not run.
@@ -87,6 +97,10 @@ func BuildJSONReport(scale float64, workers int, results []*Result, timings []*E
 			p.ScanAvgNs = t.AvgUncompacted.Nanoseconds()
 			p.ScanMaxNs = t.MaxUncompacted.Nanoseconds()
 			p.ExtractSpeedupOverRaw = t.Speedup()
+			p.ExtractCachedAvgNs = t.AvgCached.Nanoseconds()
+			p.ExtractCachedMaxNs = t.MaxCached.Nanoseconds()
+			p.CacheHits = t.CacheHits
+			p.CacheMisses = t.CacheMisses
 		}
 		if i < len(mems) && mems[i] != nil {
 			m := mems[i]

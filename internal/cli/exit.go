@@ -7,6 +7,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 
 	"twpp/internal/encoding"
@@ -77,6 +78,49 @@ func ExitCode(err error) int {
 		return ExitCorrupt
 	}
 	return ExitFailure
+}
+
+// CodeName names an exit code for structured logs and error bodies,
+// so a reader can dispatch on "corrupt"/"truncated"/"limit" without
+// memorizing the numbers.
+func CodeName(code int) string {
+	switch code {
+	case ExitOK:
+		return "ok"
+	case ExitUsage:
+		return "usage"
+	case ExitCorrupt:
+		return "corrupt"
+	case ExitTruncated:
+		return "truncated"
+	case ExitLimit:
+		return "limit"
+	case ExitCanceled:
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// HTTPStatus maps err's exit-code class to the HTTP status a serving
+// surface returns for it. The discipline mirrors the exit codes:
+// hostile or damaged input is the client's fault (4xx, so a corrupt
+// mounted file or query never masquerades as a server fault), an
+// expired per-request deadline is a timeout, and anything unclassified
+// is a 500.
+func HTTPStatus(err error) int {
+	switch ExitCode(err) {
+	case ExitOK:
+		return http.StatusOK
+	case ExitUsage:
+		return http.StatusBadRequest
+	case ExitCorrupt, ExitTruncated, ExitLimit:
+		return http.StatusUnprocessableEntity
+	case ExitCanceled:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // Exit terminates the process with err's exit code, printing

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"testing"
 
 	"twpp/internal/encoding"
@@ -49,5 +50,44 @@ func TestUsageWinsOverWrappedDecode(t *testing.T) {
 	err := fmt.Errorf("%w: %w", Usagef("bad flag"), encoding.Errf(encoding.CodeCorrupt, 0, "x"))
 	if got := ExitCode(err); got != ExitUsage {
 		t.Fatalf("exit %d, want %d", got, ExitUsage)
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil is 200", nil, http.StatusOK},
+		{"usage is 400", Usagef("bad param"), http.StatusBadRequest},
+		{"corrupt is 422", encoding.Errf(encoding.CodeCorrupt, 0, "x"), http.StatusUnprocessableEntity},
+		{"truncated is 422", encoding.Errf(encoding.CodeTruncated, 0, "x"), http.StatusUnprocessableEntity},
+		{"limit is 422", encoding.Errf(encoding.CodeLimit, 0, "x"), http.StatusUnprocessableEntity},
+		{"stream error is 422", &trace.StreamError{Kind: trace.StreamEmpty, Pos: -1}, http.StatusUnprocessableEntity},
+		{"deadline is 504", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"canceled is 504", context.Canceled, http.StatusGatewayTimeout},
+		{"plain error is 500", errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := HTTPStatus(tc.err); got != tc.want {
+				t.Fatalf("HTTPStatus(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCodeNames(t *testing.T) {
+	want := map[int]string{
+		ExitOK: "ok", ExitFailure: "error", ExitUsage: "usage",
+		ExitCorrupt: "corrupt", ExitTruncated: "truncated",
+		ExitLimit: "limit", ExitCanceled: "canceled", 99: "error",
+	}
+	for code, name := range want {
+		if got := CodeName(code); got != name {
+			t.Errorf("CodeName(%d) = %q, want %q", code, got, name)
+		}
 	}
 }

@@ -1,0 +1,18 @@
+package core
+
+import (
+	"fmt"
+
+	"twpp/internal/encoding"
+)
+
+// corruptf classifies a semantic validation failure of TWPP content —
+// timestamps out of range, malformed series entries, lengths that
+// don't add up — as structurally corrupt input. Wrapping in
+// *encoding.Error keeps the failure class machine-dispatchable end to
+// end (exit code 3, HTTP 422), so a serving layer never mistakes
+// hostile bytes that passed the wire decode for an internal fault.
+// The message is unchanged: Error() renders the wrapped cause.
+func corruptf(format string, args ...any) error {
+	return &encoding.Error{Code: encoding.CodeCorrupt, Offset: -1, Err: fmt.Errorf(format, args...)}
+}

@@ -271,18 +271,18 @@ func DecodeSigned(vals []int64) (Seq, error) {
 		if v > 0 {
 			pend = append(pend, v)
 			if len(pend) > 2 {
-				return nil, fmt.Errorf("core: entry with more than 3 values at position %d", i)
+				return nil, corruptf("core: entry with more than 3 values at position %d", i)
 			}
 			continue
 		}
 		if v == 0 {
-			return nil, fmt.Errorf("core: zero value at position %d (timestamps are 1-based)", i)
+			return nil, corruptf("core: zero value at position %d (timestamps are 1-based)", i)
 		}
 		last := -v
 		if last <= 0 {
 			// v was math.MinInt64: negation overflows and the "decoded"
 			// value would be a negative timestamp.
-			return nil, fmt.Errorf("core: value %d at position %d out of range", v, i)
+			return nil, corruptf("core: value %d at position %d out of range", v, i)
 		}
 		var e Entry
 		switch len(pend) {
@@ -294,13 +294,13 @@ func DecodeSigned(vals []int64) (Seq, error) {
 			e = Entry{Lo: pend[0], Hi: pend[1], Step: last}
 		}
 		if e.Lo > e.Hi || e.Step < 1 || (e.Hi-e.Lo)%e.Step != 0 {
-			return nil, fmt.Errorf("core: malformed entry %s at position %d", e, i)
+			return nil, corruptf("core: malformed entry %s at position %d", e, i)
 		}
 		out = append(out, e)
 		pend = pend[:0]
 	}
 	if len(pend) != 0 {
-		return nil, fmt.Errorf("core: %d dangling values at end of stream", len(pend))
+		return nil, corruptf("core: %d dangling values at end of stream", len(pend))
 	}
 	return out, nil
 }

@@ -52,33 +52,33 @@ func FromPath(path wpp.PathTrace) *Trace {
 // length-proportional allocation.
 func (t *Trace) ToPath() (wpp.PathTrace, error) {
 	if t.Len < 0 {
-		return nil, fmt.Errorf("core: negative trace length %d", t.Len)
+		return nil, corruptf("core: negative trace length %d", t.Len)
 	}
 	var total int64
 	for _, bt := range t.Blocks {
 		for _, e := range bt.Times {
 			if e.Step < 1 || e.Lo < 1 || e.Hi < e.Lo {
-				return nil, fmt.Errorf("core: malformed entry %s for block %d", e, bt.Block)
+				return nil, corruptf("core: malformed entry %s for block %d", e, bt.Block)
 			}
 			if e.Hi > Timestamp(t.Len) {
-				return nil, fmt.Errorf("core: timestamp %d outside [1,%d] for block %d", e.Hi, t.Len, bt.Block)
+				return nil, corruptf("core: timestamp %d outside [1,%d] for block %d", e.Hi, t.Len, bt.Block)
 			}
 			cnt := (e.Hi-e.Lo)/e.Step + 1
 			total += cnt
 			if total > int64(t.Len) {
-				return nil, fmt.Errorf("core: %d timestamps exceed declared length %d", total, t.Len)
+				return nil, corruptf("core: %d timestamps exceed declared length %d", total, t.Len)
 			}
 		}
 	}
 	if total != int64(t.Len) {
-		return nil, fmt.Errorf("core: %d of %d timestamps unassigned", int64(t.Len)-total, t.Len)
+		return nil, corruptf("core: %d of %d timestamps unassigned", int64(t.Len)-total, t.Len)
 	}
 	out := make(wpp.PathTrace, t.Len)
 	for _, bt := range t.Blocks {
 		for _, e := range bt.Times {
 			for ts := e.Lo; ts <= e.Hi; ts += e.Step {
 				if out[ts-1] != 0 {
-					return nil, fmt.Errorf("core: timestamp %d claimed by blocks %d and %d", ts, out[ts-1], bt.Block)
+					return nil, corruptf("core: timestamp %d claimed by blocks %d and %d", ts, out[ts-1], bt.Block)
 				}
 				out[ts-1] = bt.Block
 			}

@@ -1,6 +1,8 @@
 package dataflow
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -356,5 +358,22 @@ func main() {
 	}
 	if defs[0] == first {
 		t.Error("killed definition x=1 still reaches")
+	}
+}
+
+// SolveCtx must abandon a propagation promptly when the request's
+// context is canceled, returning ctx.Err() so serving layers classify
+// it as a timeout rather than a solver fault.
+func TestSolveCtxCanceled(t *testing.T) {
+	g := BuildFromPath(figure9Path())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveAllCtx(ctx, g, ProblemFunc(func(b cfg.BlockID) Effect { return Transparent }), 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The background-context wrapper is unaffected.
+	if _, err := SolveAll(g, ProblemFunc(func(b cfg.BlockID) Effect { return Transparent }), 1); err != nil {
+		t.Fatalf("SolveAll: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"context"
 	"fmt"
 
 	"twpp/internal/cfg"
@@ -83,6 +84,14 @@ func (r *Result) Frequency() float64 {
 // T must be a subset of n's timestamp set; pass g.Node(n).Times for
 // "all executions of n". The fact d is defined by prob.
 func Solve(g *TGraph, prob Problem, n cfg.BlockID, T core.Seq) (*Result, error) {
+	return SolveCtx(context.Background(), g, prob, n, T)
+}
+
+// SolveCtx is Solve with cooperative cancellation: ctx is polled once
+// per backward time step, so a deadline or cancellation abandons a
+// long propagation promptly with ctx.Err(). The query server uses this
+// to bound per-request work.
+func SolveCtx(ctx context.Context, g *TGraph, prob Problem, n cfg.BlockID, T core.Seq) (*Result, error) {
 	start := g.Node(n)
 	if start == nil {
 		return nil, fmt.Errorf("dataflow: block %d not in dynamic CFG", n)
@@ -104,6 +113,9 @@ func Solve(g *TGraph, prob Problem, n cfg.BlockID, T core.Seq) (*Result, error) 
 	}
 
 	for len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		offset++
 		res.Steps++
 		next := make(map[cfg.BlockID]core.Seq)
@@ -151,11 +163,16 @@ func Solve(g *TGraph, prob Problem, n cfg.BlockID, T core.Seq) (*Result, error) 
 
 // SolveAll answers <T(n), n>_d for all executions of n.
 func SolveAll(g *TGraph, prob Problem, n cfg.BlockID) (*Result, error) {
+	return SolveAllCtx(context.Background(), g, prob, n)
+}
+
+// SolveAllCtx is SolveAll with cooperative cancellation (see SolveCtx).
+func SolveAllCtx(ctx context.Context, g *TGraph, prob Problem, n cfg.BlockID) (*Result, error) {
 	start := g.Node(n)
 	if start == nil {
 		return nil, fmt.Errorf("dataflow: block %d not in dynamic CFG", n)
 	}
-	return Solve(g, prob, n, start.Times)
+	return SolveCtx(ctx, g, prob, n, start.Times)
 }
 
 // Holds summarizes a result in the paper's three-way classification:

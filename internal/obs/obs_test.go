@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs_total") != c {
+		t.Error("second Counter lookup returned a different instance")
+	}
+
+	g := r.Gauge("in_flight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %d, want 1", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Errorf("gauge after Set = %d, want -7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative buckets: <=0.01 holds 2 (0.005 and the boundary 0.01),
+	// <=0.1 holds 3, <=1 holds 4, +Inf holds all 5.
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministicAndTyped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Inc()
+	r.Gauge("m_gauge").Set(3)
+	r.GaugeFunc("z_func", func() float64 { return 1.5 })
+
+	var one, two bytes.Buffer
+	if err := r.WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("two renders of the same registry differ")
+	}
+	out := one.String()
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Errorf("counters not sorted by name:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE a_total counter", "# TYPE m_gauge gauge",
+		"# TYPE z_func gauge", "z_func 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Inc()
+				r.Histogram("h_seconds", nil).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != goroutines*each {
+		t.Errorf("counter = %d, want %d", got, goroutines*each)
+	}
+	if got := r.Gauge("g").Value(); got != goroutines*each {
+		t.Errorf("gauge = %d, want %d", got, goroutines*each)
+	}
+	if got := r.Histogram("h_seconds", nil).Count(); got != goroutines*each {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*each)
+	}
+}

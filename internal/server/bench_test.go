@@ -1,0 +1,152 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"twpp/internal/server"
+	"twpp/internal/testkit"
+)
+
+// BenchmarkServeExtract is the pure-Go serving throughput smoke: the
+// full request path (mux, semaphore, deadline, extraction, JSON
+// render) driven through the handler with no network, in parallel.
+func BenchmarkServeExtract(b *testing.B) {
+	path, _ := writeCorpusFile(b, testkit.Config{Seed: 73, Shape: testkit.Regular, Funcs: 6, Calls: 200})
+	paths := goodPaths(b, path)
+	srv := server.New(server.Options{CacheEntries: 16, MaxInFlight: 4 * runtime.GOMAXPROCS(0)})
+	if err := srv.Mount("bench", path); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p := paths[i%len(paths)]
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, p, nil))
+			if rec.Code != http.StatusOK {
+				b.Errorf("GET %s: status %d: %s", p, rec.Code, rec.Body.Bytes())
+				return
+			}
+			i++
+		}
+	})
+	reg := srv.Registry()
+	b.ReportMetric(float64(reg.Counter("twpp_cache_hits_total").Value())/float64(b.N), "hits/op")
+}
+
+// serveBenchReport is the shape of BENCH_*_serve.json: the serving
+// layer's line in the repo's performance trajectory.
+type serveBenchReport struct {
+	Clients     int     `json:"clients"`
+	Requests    int     `json:"requests"`
+	WallMs      float64 `json:"wall_ms"`
+	ReqPerS     float64 `json:"req_per_s"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	MaxUs       float64 `json:"max_us"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	DecodeBytes uint64  `json:"decode_bytes"`
+	Resp2xx     uint64  `json:"responses_2xx"`
+	Resp4xx     uint64  `json:"responses_4xx"`
+	Resp5xx     uint64  `json:"responses_5xx"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+}
+
+// TestWriteServeBenchJSON runs the 16-client mixed workload over a
+// real listener and writes the measured throughput/latency profile to
+// $SERVE_BENCH_OUT (skipped otherwise; driven by `make bench-serve`).
+func TestWriteServeBenchJSON(t *testing.T) {
+	out := os.Getenv("SERVE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set SERVE_BENCH_OUT=path to write the serve benchmark JSON")
+	}
+	const (
+		clients   = 16
+		perClient = 250
+	)
+	path, _ := writeCorpusFile(t, testkit.Config{Seed: 74, Shape: testkit.Regular, Funcs: 8, Calls: 300})
+	paths := goodPaths(t, path)
+	srv := server.New(server.Options{CacheEntries: 16, MaxInFlight: 64})
+	if err := srv.Mount("bench", path); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	lat := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat[c] = make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				p := paths[(c+i)%len(paths)]
+				reqStart := time.Now()
+				resp, err := http.Get(ts.URL + p)
+				if err != nil {
+					t.Errorf("GET %s: %v", p, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: status %d", p, resp.StatusCode)
+					return
+				}
+				lat[c] = append(lat[c], time.Since(reqStart))
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) == 0 {
+		t.Fatal("no successful requests")
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	reg := srv.Registry()
+	rep := serveBenchReport{
+		Clients:     clients,
+		Requests:    len(all),
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+		ReqPerS:     float64(len(all)) / wall.Seconds(),
+		P50Us:       us(all[len(all)/2]),
+		P99Us:       us(all[len(all)*99/100]),
+		MaxUs:       us(all[len(all)-1]),
+		CacheHits:   reg.Counter("twpp_cache_hits_total").Value(),
+		CacheMisses: reg.Counter("twpp_cache_misses_total").Value(),
+		DecodeBytes: reg.Counter("twpp_decode_bytes_total").Value(),
+		Resp2xx:     reg.Counter("twpp_responses_2xx_total").Value(),
+		Resp4xx:     reg.Counter("twpp_responses_4xx_total").Value(),
+		Resp5xx:     reg.Counter("twpp_responses_5xx_total").Value(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.0f req/s, p50 %.0fus, p99 %.0fus", out, rep.ReqPerS, rep.P50Us, rep.P99Us)
+}

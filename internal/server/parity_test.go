@@ -1,0 +1,22 @@
+package server_test
+
+import (
+	"testing"
+
+	"twpp/internal/testkit"
+)
+
+// The serving oracle: for every generator shape, each HTTP response
+// must be deterministic byte-for-byte and semantically identical to
+// the in-process facade call on the same compacted file.
+func TestServerParityAllShapes(t *testing.T) {
+	for _, shape := range testkit.Shapes() {
+		t.Run(shape.String(), func(t *testing.T) {
+			t.Parallel()
+			w := testkit.Generate(testkit.Config{Seed: 4000 + int64(shape), Shape: shape})
+			if err := testkit.CheckServerParity(w); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+package wppfile
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"twpp/internal/cfg"
+)
+
+// The Instrument hooks are the observability layer's view of the
+// decode path: every cache miss fires OnDecode with the block's
+// on-disk length, every hit fires OnCacheHit, and the callback totals
+// must agree with CacheStats.
+func TestInstrumentHooks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, tw := buildTWPP(t, rng, 20)
+	path := filepath.Join(t.TempDir(), "trace.twpp")
+	if err := WriteCompacted(path, tw); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	decodes, hits, bytes := 0, 0, 0
+	cf, err := OpenCompactedOptions(path, OpenOptions{
+		CacheEntries: 16,
+		Instrument: &Instrument{
+			OnDecode: func(fn cfg.FuncID, n int) {
+				mu.Lock()
+				decodes++
+				bytes += n
+				mu.Unlock()
+			},
+			OnCacheHit: func(fn cfg.FuncID) {
+				mu.Lock()
+				hits++
+				mu.Unlock()
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+
+	fns := cf.Functions()
+	for pass := 0; pass < 3; pass++ {
+		for _, fn := range fns {
+			if _, err := cf.ExtractFunction(fn); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	wantBytes := 0
+	for _, fn := range fns {
+		wantBytes += cf.BlockLength(fn)
+	}
+	if decodes != len(fns) {
+		t.Errorf("OnDecode fired %d times, want %d (one per cold extraction)", decodes, len(fns))
+	}
+	if hits != 2*len(fns) {
+		t.Errorf("OnCacheHit fired %d times, want %d", hits, 2*len(fns))
+	}
+	if bytes != wantBytes {
+		t.Errorf("OnDecode reported %d bytes, want %d (sum of block lengths)", bytes, wantBytes)
+	}
+	ch, cm := cf.CacheStats()
+	if int(ch) != hits || int(cm) != decodes {
+		t.Errorf("CacheStats (%d, %d) disagrees with hooks (%d, %d)", ch, cm, hits, decodes)
+	}
+}
+
+// A canceled per-request context must abort extraction before the read
+// and decode — but cache hits still succeed, since they cost nothing.
+func TestExtractFunctionCtxCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	_, tw := buildTWPP(t, rng, 10)
+	path := filepath.Join(t.TempDir(), "trace.twpp")
+	if err := WriteCompacted(path, tw); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenCompactedOptions(path, OpenOptions{CacheEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fn := cf.Functions()[0]
+	if _, err := cf.ExtractFunctionCtx(ctx, fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cold extraction under canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := cf.ExtractFunctionCtx(context.Background(), fn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.ExtractFunctionCtx(ctx, fn); err != nil {
+		t.Errorf("cached extraction under canceled ctx: err = %v, want cache hit", err)
+	}
+	// Absent functions classify as a lookup miss regardless of ctx.
+	if _, err := cf.ExtractFunctionCtx(context.Background(), 99); !errors.Is(err, ErrNoFunction) {
+		t.Errorf("absent function: err = %v, want ErrNoFunction", err)
+	}
+}

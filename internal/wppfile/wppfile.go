@@ -13,6 +13,8 @@
 package wppfile
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -557,6 +559,8 @@ type CompactedFile struct {
 	lim limits
 	// cache, when non-nil, holds recently decoded function blocks.
 	cache *decodeCache
+	// inst, when non-nil, receives decode-path events (OpenOptions.Instrument).
+	inst *Instrument
 	// closeOnce/closed make Close idempotent and let extraction fail
 	// fast (wrapping os.ErrClosed) instead of racing the descriptor.
 	closeOnce sync.Once
@@ -584,11 +588,35 @@ const (
 	DefaultMaxSeqValues = 1 << 24
 )
 
+// ErrNoFunction matches (errors.Is) extraction of a function absent
+// from the file's index — a lookup miss, not a decode failure. Serving
+// surfaces map it to "not found" rather than "bad input".
+var ErrNoFunction = errors.New("function not present in WPP")
+
+// Instrument carries optional decode-path callbacks, the hook the
+// observability layer uses to count cache behaviour and decode volume
+// without the file depending on any metrics package. Callbacks may be
+// invoked concurrently and must be cheap and non-blocking; nil fields
+// are skipped.
+type Instrument struct {
+	// OnDecode fires after a function block is read and decoded from
+	// disk (with caching enabled, a cache miss), with the block's
+	// encoded length in bytes.
+	OnDecode func(fn cfg.FuncID, encodedBytes int)
+	// OnCacheHit fires when an extraction is served from the decode
+	// cache.
+	OnCacheHit func(fn cfg.FuncID)
+}
+
 // OpenOptions configures OpenCompactedOptions.
 type OpenOptions struct {
 	// CacheEntries sizes the sharded LRU cache of decoded function
 	// blocks. 0 disables caching (every extraction decodes afresh).
 	CacheEntries int
+
+	// Instrument, when non-nil, receives decode-path events (cache
+	// hits, block decodes) for metrics.
+	Instrument *Instrument
 
 	// MaxTraceBytes caps a single function block's encoded length (as
 	// declared by the index) and the decompressed size of the DCG.
@@ -674,6 +702,7 @@ func OpenCompactedOptions(path string, opts OpenOptions) (*CompactedFile, error)
 		size:  st.Size(),
 		lim:   opts.resolve(),
 		cache: newDecodeCache(opts.CacheEntries),
+		inst:  opts.Instrument,
 	}
 	parse := func(head []byte) error {
 		c := encoding.NewCursor(head)
@@ -830,17 +859,32 @@ func (cf *CompactedFile) CallCount(fn cfg.FuncID) int {
 // both the read and the decode; the returned block is then shared and
 // must be treated as read-only.
 func (cf *CompactedFile) ExtractFunction(fn cfg.FuncID) (*core.FunctionTWPP, error) {
+	return cf.ExtractFunctionCtx(context.Background(), fn)
+}
+
+// ExtractFunctionCtx is ExtractFunction with cooperative cancellation:
+// ctx is checked before the positioned read and before the decode, so
+// an expired per-request deadline skips the remaining work with
+// ctx.Err(). Cache hits are returned regardless of ctx — they cost
+// nothing.
+func (cf *CompactedFile) ExtractFunctionCtx(ctx context.Context, fn cfg.FuncID) (*core.FunctionTWPP, error) {
 	if cf.closed.Load() {
 		return nil, fmt.Errorf("wppfile: extract function %d: %w", fn, os.ErrClosed)
 	}
 	if cf.cache != nil {
 		if ft, ok := cf.cache.get(fn); ok {
+			if cf.inst != nil && cf.inst.OnCacheHit != nil {
+				cf.inst.OnCacheHit(fn)
+			}
 			return ft, nil
 		}
 	}
 	e, ok := cf.index[fn]
 	if !ok {
-		return nil, fmt.Errorf("wppfile: function %d not present in WPP", fn)
+		return nil, fmt.Errorf("wppfile: function %d: %w", fn, ErrNoFunction)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	buf := make([]byte, e.Length)
 	if _, err := cf.f.ReadAt(buf, cf.blocksOffset+int64(e.Offset)); err != nil {
@@ -850,14 +894,27 @@ func (cf *CompactedFile) ExtractFunction(fn cfg.FuncID) (*core.FunctionTWPP, err
 		}
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ft, err := decodeFunctionBlock(buf, fn, cf.lim)
 	if err != nil {
 		return nil, err
+	}
+	if cf.inst != nil && cf.inst.OnDecode != nil {
+		cf.inst.OnDecode(fn, e.Length)
 	}
 	if cf.cache != nil {
 		cf.cache.put(fn, ft)
 	}
 	return ft, nil
+}
+
+// BlockLength reports the encoded on-disk length of fn's block (0 if
+// the function is absent) — the per-function cost a serving layer can
+// report without decoding.
+func (cf *CompactedFile) BlockLength(fn cfg.FuncID) int {
+	return cf.index[fn].Length
 }
 
 // CacheStats reports the decode cache's cumulative hit and miss

@@ -241,10 +241,21 @@ func OpenFile(path string) (*File, error) {
 	return wppfile.OpenCompacted(path)
 }
 
-// OpenOptions configures OpenFileOpts: the decode cache size and the
+// OpenOptions configures OpenFileOpts: the decode cache size, the
 // decode resource limits (MaxTraceBytes, MaxFuncTraces, MaxSeqValues)
-// enforced against hostile or corrupt inputs.
+// enforced against hostile or corrupt inputs, and optional Instrument
+// hooks feeding decode-path events to a metrics layer.
 type OpenOptions = wppfile.OpenOptions
+
+// Instrument carries optional decode-path callbacks (cache hits, block
+// decodes) for OpenOptions.Instrument; the twpp-serve observability
+// layer uses it to feed its metrics registry.
+type Instrument = wppfile.Instrument
+
+// ErrNoFunction matches (errors.Is) extraction of a function that is
+// not in the file's index — a lookup miss, distinct from any decode
+// failure.
+var ErrNoFunction = wppfile.ErrNoFunction
 
 // NoLimit disables an OpenOptions resource limit; zero values select
 // the defaults below.
