@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint cover bench bench-json bench-mem bench-serve serve-test fuzz-seed ci
+.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap serve-test fuzz-seed ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,16 @@ lint: vet
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go vet already ran)"; \
+	fi
+
+# Known-vulnerability scan, gated like staticcheck: run when the host
+# has govulncheck, skip quietly otherwise (hermetic containers have
+# neither the tool nor the network to fetch its database).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
 	fi
 
 # Coverage floor on the decode-critical packages: the corruption sweep
@@ -74,6 +84,14 @@ bench-serve:
 	SERVE_BENCH_OUT=$(CURDIR)/BENCH_$(shell date +%Y%m%d)_serve.json \
 		$(GO) test -run TestWriteServeBenchJSON -v ./internal/server/
 
+# Storage-backend comparison (BENCH_*_mmap.json trajectory format):
+# uncached concurrent extraction through positioned file reads vs a
+# read-only memory mapping, same compacted file and workload.
+bench-mmap:
+	MMAP_BENCH_OUT=$(CURDIR)/BENCH_$(shell date +%Y%m%d)_mmap.json \
+		$(GO) test -run TestWriteMmapBenchJSON -v .
+	$(GO) test -run xxx -bench 'ConcurrentExtract/backend' -benchtime 1x .
+
 # Run the fuzz targets on their seed corpora only (no fuzzing time;
 # the seeded cases run as ordinary tests): the compaction determinism
 # targets at the root and the hostile-input decode targets in wppfile.
@@ -81,4 +99,4 @@ fuzz-seed:
 	$(GO) test -run 'FuzzParallelCompactDeterminism|FuzzStreamCompactDeterminism' .
 	$(GO) test -run 'FuzzDecodeCompacted|FuzzStreamRoundTrip' ./internal/wppfile/
 
-ci: lint build test race serve-test fuzz-seed cover bench-mem
+ci: lint vuln build test race serve-test fuzz-seed cover bench-mem bench-mmap

@@ -26,6 +26,7 @@ import (
 	"twpp/internal/minilang"
 	"twpp/internal/sequitur"
 	"twpp/internal/slicing"
+	"twpp/internal/storage"
 	"twpp/internal/trace"
 	"twpp/internal/wpp"
 	"twpp/internal/wppfile"
@@ -381,9 +382,12 @@ func BenchmarkParallelCompact(b *testing.B) {
 }
 
 // BenchmarkConcurrentExtract hammers one compacted file from
-// GOMAXPROCS x 4 goroutines, with the decode cache off and on. With
-// the cache enabled, every post-warmup extraction is a hit and skips
-// both the positioned read and the decode; the hit rate is reported.
+// GOMAXPROCS x 4 goroutines, sweeping the storage backend (positioned
+// file reads vs a read-only memory mapping) and the decode cache off
+// and on. With the cache enabled, every post-warmup extraction is a
+// hit and skips both the read and the decode; the hit rate is
+// reported. The uncached backend pair is the file-vs-mmap delta
+// `make bench-mmap` records.
 func BenchmarkConcurrentExtract(b *testing.B) {
 	w := buildWorkload(b, "126.gcc-like")
 	c, _ := wpp.Compact(w)
@@ -392,31 +396,36 @@ func BenchmarkConcurrentExtract(b *testing.B) {
 	if err := wppfile.WriteCompacted(path, tw); err != nil {
 		b.Fatal(err)
 	}
-	for _, cacheEntries := range []int{0, 256} {
-		b.Run(fmt.Sprintf("cache=%d", cacheEntries), func(b *testing.B) {
-			cf, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{CacheEntries: cacheEntries})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer cf.Close()
-			fns := cf.Functions()
-			b.ReportAllocs()
-			b.SetParallelism(4)
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				i := 0
-				for pb.Next() {
-					if _, err := cf.ExtractFunction(fns[i%len(fns)]); err != nil {
-						b.Fatal(err)
+	for _, backend := range []storage.Kind{storage.KindFile, storage.KindMmap} {
+		for _, cacheEntries := range []int{0, 256} {
+			b.Run(fmt.Sprintf("backend=%s/cache=%d", backend, cacheEntries), func(b *testing.B) {
+				cf, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{
+					Backend:      backend,
+					CacheEntries: cacheEntries,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cf.Close()
+				fns := cf.Functions()
+				b.ReportAllocs()
+				b.SetParallelism(4)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						if _, err := cf.ExtractFunction(fns[i%len(fns)]); err != nil {
+							b.Fatal(err)
+						}
+						i++
 					}
-					i++
+				})
+				b.StopTimer()
+				if hits, misses := cf.CacheStats(); hits+misses > 0 {
+					b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
 				}
 			})
-			b.StopTimer()
-			if hits, misses := cf.CacheStats(); hits+misses > 0 {
-				b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
-			}
-		})
+		}
 	}
 }
 

@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	twpp-compact -in trace.wpp [-o trace.twpp] [-j workers] [-stream] [-sequitur trace.seq]
+//	twpp-compact -in trace.wpp [-o trace.twpp] [-j workers] [-stream]
+//	             [-format 2] [-verify] [-sequitur trace.seq]
+//
+// -format selects the container layout (2 = sectioned with checksums,
+// the default; 1 = legacy). -verify reopens the output after writing
+// and checks it end to end: every section checksum, plus a full decode
+// of the call graph and every function's blocks. Verification failures
+// exit with the same structured codes as reads (3 corrupt, 4
+// truncated, 5 limit).
 package main
 
 import (
@@ -20,38 +28,58 @@ import (
 	"twpp/internal/cli"
 )
 
+// compactConfig carries the validated flag values run consumes.
+type compactConfig struct {
+	in      string
+	out     string
+	seq     string
+	workers int
+	format  int
+	stream  bool
+	verify  bool
+	verbose bool
+}
+
 func main() {
-	var (
-		in      = flag.String("in", "", "input raw WPP file (required)")
-		out     = flag.String("o", "", "output compacted TWPP file (default: input with .twpp)")
-		seq     = flag.String("sequitur", "", "also write the Sequitur-compressed baseline here")
-		workers = flag.Int("j", 0, "compaction worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-		stream  = flag.Bool("stream", false, "streaming pipeline: bounded-memory ingestion, identical output")
-		verb    = flag.Bool("v", true, "print compaction statistics")
-	)
+	var c compactConfig
+	flag.StringVar(&c.in, "in", "", "input raw WPP file (required)")
+	flag.StringVar(&c.out, "o", "", "output compacted TWPP file (default: input with .twpp)")
+	flag.StringVar(&c.seq, "sequitur", "", "also write the Sequitur-compressed baseline here")
+	flag.IntVar(&c.workers, "j", 0, "compaction worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	flag.IntVar(&c.format, "format", 0, "container format: 2 sectioned+checksums (default), 1 legacy")
+	flag.BoolVar(&c.stream, "stream", false, "streaming pipeline: bounded-memory ingestion, identical output")
+	flag.BoolVar(&c.verify, "verify", false, "reopen the output and verify checksums plus a full decode")
+	flag.BoolVar(&c.verbose, "v", true, "print compaction statistics")
 	flag.Parse()
 	// Interrupt (ctrl-C) cancels the pipeline cooperatively: partial
 	// output is removed and the tool exits with cli.ExitCanceled.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	err := run(ctx, *in, *out, *seq, *workers, *stream, *verb)
+	err := run(ctx, c)
 	stop()
 	cli.Exit("twpp-compact", err)
 }
 
-func run(ctx context.Context, in, out, seqPath string, workers int, stream, verbose bool) error {
+func run(ctx context.Context, c compactConfig) error {
+	in, out, seqPath := c.in, c.out, c.seq
+	verbose := c.verbose
 	if in == "" {
 		return cli.Usagef("missing -in")
+	}
+	switch c.format {
+	case 0, twpp.FormatV1, twpp.FormatV2:
+	default:
+		return cli.Usagef("unknown -format %d (want 1 or 2)", c.format)
 	}
 	if out == "" {
 		out = in + ".twpp"
 	}
-	opts := twpp.CompactOptions{Workers: workers}
+	opts := twpp.CompactOptions{Workers: c.workers, Format: c.format}
 	var (
 		stats         twpp.CompactStats
 		traceB, dictB int
 		w             *twpp.RawWPP
 	)
-	if stream {
+	if c.stream {
 		if seqPath != "" {
 			return cli.Usagef("-sequitur needs the whole WPP in memory; drop -stream")
 		}
@@ -76,6 +104,14 @@ func run(ctx context.Context, in, out, seqPath string, workers int, stream, verb
 		stats = s
 		traceB, dictB = tw.SizeStats()
 	}
+	if c.verify {
+		if err := verifyOutput(out); err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Printf("verified %s: all section checksums and decodes ok\n", out)
+		}
+	}
 	if verbose {
 		fmt.Printf("raw traces:          %10d bytes\n", stats.RawTraceBytes)
 		fmt.Printf("after redundancy:    %10d bytes (x%.2f)\n", stats.AfterRedundancy,
@@ -96,6 +132,28 @@ func run(ctx context.Context, in, out, seqPath string, workers int, stream, verb
 		}
 		if verbose {
 			fmt.Printf("wrote %s (%d bytes, Sequitur baseline)\n", seqPath, c.Size())
+		}
+	}
+	return nil
+}
+
+// verifyOutput reopens the freshly written container and proves it
+// readable end to end: eager section-checksum verification at open
+// (v2), then a full decode of the dynamic call graph and of every
+// function's trace block. Errors keep their structured decode classes
+// so cli.ExitCode reports 3/4/5 exactly as a later reader would.
+func verifyOutput(path string) error {
+	f, err := twpp.OpenFileOpts(path, twpp.OpenOptions{VerifyChecksums: true})
+	if err != nil {
+		return fmt.Errorf("verify %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := f.ReadDCG(); err != nil {
+		return fmt.Errorf("verify %s: call graph: %w", path, err)
+	}
+	for _, fn := range f.Functions() {
+		if _, err := f.ExtractFunction(fn); err != nil {
+			return fmt.Errorf("verify %s: function %d: %w", path, fn, err)
 		}
 	}
 	return nil

@@ -47,7 +47,8 @@ func TestRunCompacts(t *testing.T) {
 	in := writeTrace(t, dir)
 	out := filepath.Join(dir, "t.twpp")
 	seq := filepath.Join(dir, "t.seq")
-	if err := run(context.Background(), in, out, seq, 2, false, false); err != nil {
+	// -verify exercises the reopen-and-check pass on the fresh output.
+	if err := run(context.Background(), compactConfig{in: in, out: out, seq: seq, workers: 2, verify: true}); err != nil {
 		t.Fatal(err)
 	}
 	cf, err := twpp.OpenFile(out)
@@ -74,10 +75,10 @@ func TestRunStreamMatchesBatch(t *testing.T) {
 	in := writeTrace(t, dir)
 	batch := filepath.Join(dir, "batch.twpp")
 	stream := filepath.Join(dir, "stream.twpp")
-	if err := run(context.Background(), in, batch, "", 2, false, false); err != nil {
+	if err := run(context.Background(), compactConfig{in: in, out: batch, workers: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), in, stream, "", 2, true, false); err != nil {
+	if err := run(context.Background(), compactConfig{in: in, out: stream, workers: 2, stream: true, verify: true}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(batch)
@@ -92,15 +93,50 @@ func TestRunStreamMatchesBatch(t *testing.T) {
 		t.Error("-stream output differs from batch output")
 	}
 	// -stream refuses the in-memory-only Sequitur baseline.
-	if err := run(context.Background(), in, stream, filepath.Join(dir, "t.seq"), 1, true, false); err == nil {
+	if err := run(context.Background(), compactConfig{in: in, out: stream, seq: filepath.Join(dir, "t.seq"), workers: 1, stream: true}); err == nil {
 		t.Error("-stream with -sequitur: want error")
+	}
+}
+
+// -format 1 writes the legacy layout; -format 2 the sectioned default.
+// Both must reopen cleanly and report their version, and v2 must be
+// the default when no format is given.
+func TestRunFormats(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTrace(t, dir)
+	for _, tc := range []struct {
+		name   string
+		format int
+		want   int
+	}{
+		{"default is v2", 0, twpp.FormatV2},
+		{"explicit v1", twpp.FormatV1, twpp.FormatV1},
+		{"explicit v2", twpp.FormatV2, twpp.FormatV2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out := filepath.Join(dir, tc.name+".twpp")
+			if err := run(context.Background(), compactConfig{in: in, out: out, workers: 1, format: tc.format, verify: true}); err != nil {
+				t.Fatal(err)
+			}
+			f, err := twpp.OpenFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if got := f.FormatVersion(); got != tc.want {
+				t.Errorf("FormatVersion() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+	if err := run(context.Background(), compactConfig{in: in, format: 7}); err == nil {
+		t.Error("bad -format: want error")
 	}
 }
 
 func TestRunDefaultOutputName(t *testing.T) {
 	dir := t.TempDir()
 	in := writeTrace(t, dir)
-	if err := run(context.Background(), in, "", "", 1, false, false); err != nil {
+	if err := run(context.Background(), compactConfig{in: in, workers: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(in + ".twpp"); err != nil {
@@ -109,10 +145,10 @@ func TestRunDefaultOutputName(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), "", "", "", 1, false, false); err == nil {
+	if err := run(context.Background(), compactConfig{workers: 1}); err == nil {
 		t.Error("missing input: want error")
 	}
-	if err := run(context.Background(), "/nonexistent/file.wpp", "", "", 1, false, false); err == nil {
+	if err := run(context.Background(), compactConfig{in: "/nonexistent/file.wpp", workers: 1}); err == nil {
 		t.Error("absent input: want error")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"twpp/internal/cli"
@@ -37,16 +38,31 @@ func checkGolden(t *testing.T, name string, got []byte) {
 func TestGoldenList(t *testing.T) {
 	p := writeTWPP(t, t.TempDir())
 	var buf bytes.Buffer
-	if err := run(&buf, p, true, -1, 0, false, 0, "", "", 0); err != nil {
+	if err := run(&buf, queryConfig{in: p, list: true, fn: -1}); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "list.golden", buf.Bytes())
 }
 
+// The -v header names the container version and section sizes; its
+// first line is asserted by shape, not golden, since section sizes
+// shift with encoder changes.
+func TestVerboseHeader(t *testing.T) {
+	p := writeTWPP(t, t.TempDir())
+	var buf bytes.Buffer
+	if err := run(&buf, queryConfig{in: p, list: true, fn: -1, verbose: true}); err != nil {
+		t.Fatal(err)
+	}
+	head, _, _ := strings.Cut(buf.String(), "\n")
+	if !strings.Contains(head, "container format v2") || !strings.Contains(head, "sections header=") {
+		t.Errorf("-v header = %q", head)
+	}
+}
+
 func TestGoldenExtractAndQuery(t *testing.T) {
 	p := writeTWPP(t, t.TempDir())
 	var buf bytes.Buffer
-	if err := run(&buf, p, false, 1, 0, true, 2, "1", "9", 0); err != nil {
+	if err := run(&buf, queryConfig{in: p, fn: 1, show: true, block: 2, gen: "1", kill: "9"}); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "query.golden", buf.Bytes())
@@ -87,7 +103,7 @@ func TestExitCodes(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			err := run(&bytes.Buffer{}, tc.in, tc.list, -1, 0, false, 0, "", "", 0)
+			err := run(&bytes.Buffer{}, queryConfig{in: tc.in, list: tc.list, fn: -1})
 			if got := cli.ExitCode(err); got != tc.want {
 				t.Fatalf("exit code %d, want %d (err: %v)", got, tc.want, err)
 			}
@@ -95,10 +111,10 @@ func TestExitCodes(t *testing.T) {
 	}
 
 	// Usage classification for the non-list paths.
-	if got := cli.ExitCode(run(&bytes.Buffer{}, valid, false, -1, 0, false, 0, "", "", 0)); got != cli.ExitUsage {
+	if got := cli.ExitCode(run(&bytes.Buffer{}, queryConfig{in: valid, fn: -1})); got != cli.ExitUsage {
 		t.Errorf("neither -list nor -func: exit %d, want %d", got, cli.ExitUsage)
 	}
-	if got := cli.ExitCode(run(&bytes.Buffer{}, valid, false, 1, 99, false, 0, "", "", 0)); got != cli.ExitUsage {
+	if got := cli.ExitCode(run(&bytes.Buffer{}, queryConfig{in: valid, fn: 1, traceIx: 99})); got != cli.ExitUsage {
 		t.Errorf("trace index out of range: exit %d, want %d", got, cli.ExitUsage)
 	}
 }

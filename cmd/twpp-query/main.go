@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	twpp-query -in trace.twpp -list
+//	twpp-query -in trace.twpp -list [-mmap] [-v]
 //	twpp-query -in trace.twpp -func 3 [-trace 0] [-show] [-cache 64]
 //	twpp-query -in trace.twpp -func 3 -trace 0 -block 4 -gen 1 -kill 6
 //
 // -cache N keeps up to N decoded function blocks in a sharded LRU so
-// repeated extractions of hot functions skip I/O and decode.
+// repeated extractions of hot functions skip I/O and decode. -mmap
+// maps the file read-only instead of using positioned reads. -v first
+// prints a header describing the container: format version, function
+// count, and per-section sizes.
 package main
 
 import (
@@ -27,33 +30,63 @@ import (
 	"twpp/internal/dataflow"
 )
 
-func main() {
-	var (
-		in      = flag.String("in", "", "compacted TWPP file (required)")
-		list    = flag.Bool("list", false, "list functions, hottest first")
-		fn      = flag.Int("func", -1, "function id to extract")
-		traceIx = flag.Int("trace", 0, "unique trace index within the function")
-		show    = flag.Bool("show", false, "print the trace's timestamp mapping")
-		block   = flag.Int("block", 0, "query block: ask whether the fact holds before its executions")
-		genStr  = flag.String("gen", "", "comma-separated block ids that generate the fact")
-		killStr = flag.String("kill", "", "comma-separated block ids that kill the fact")
-		cache   = flag.Int("cache", 0, "decoded-block LRU cache entries (0 = no cache)")
-	)
-	flag.Parse()
-	cli.Exit("twpp-query", run(os.Stdout, *in, *list, *fn, *traceIx, *show, *block, *genStr, *killStr, *cache))
+// queryConfig carries the validated flag values run consumes.
+type queryConfig struct {
+	in      string
+	list    bool
+	fn      int
+	traceIx int
+	show    bool
+	block   int
+	gen     string
+	kill    string
+	cache   int
+	mmap    bool
+	verbose bool
 }
 
-func run(out io.Writer, in string, list bool, fn, traceIx int, show bool, block int, genStr, killStr string, cache int) error {
-	if in == "" {
+func main() {
+	var c queryConfig
+	flag.StringVar(&c.in, "in", "", "compacted TWPP file (required)")
+	flag.BoolVar(&c.list, "list", false, "list functions, hottest first")
+	flag.IntVar(&c.fn, "func", -1, "function id to extract")
+	flag.IntVar(&c.traceIx, "trace", 0, "unique trace index within the function")
+	flag.BoolVar(&c.show, "show", false, "print the trace's timestamp mapping")
+	flag.IntVar(&c.block, "block", 0, "query block: ask whether the fact holds before its executions")
+	flag.StringVar(&c.gen, "gen", "", "comma-separated block ids that generate the fact")
+	flag.StringVar(&c.kill, "kill", "", "comma-separated block ids that kill the fact")
+	flag.IntVar(&c.cache, "cache", 0, "decoded-block LRU cache entries (0 = no cache)")
+	flag.BoolVar(&c.mmap, "mmap", false, "read through a read-only memory mapping")
+	flag.BoolVar(&c.verbose, "v", false, "print a container header: format version and section sizes")
+	flag.Parse()
+	cli.Exit("twpp-query", run(os.Stdout, c))
+}
+
+func run(out io.Writer, c queryConfig) error {
+	fn, traceIx := c.fn, c.traceIx
+	if c.in == "" {
 		return cli.Usagef("missing -in")
 	}
-	f, err := twpp.OpenFileOpts(in, twpp.OpenOptions{CacheEntries: cache})
+	opts := twpp.OpenOptions{CacheEntries: c.cache}
+	if c.mmap {
+		opts.Backend = twpp.BackendMmap
+	}
+	f, err := twpp.OpenFileOpts(c.in, opts)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
-	if list {
+	if c.verbose {
+		hdr, dcg, blocks, err := f.SectionSizes()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: container format v%d, %d functions, sections header=%d dcg=%d blocks=%d bytes\n",
+			c.in, f.FormatVersion(), len(f.Functions()), hdr, dcg, blocks)
+	}
+
+	if c.list {
 		fmt.Fprintf(out, "%-8s %-24s %s\n", "id", "name", "calls")
 		for _, id := range f.Functions() {
 			name := fmt.Sprintf("func%d", id)
@@ -79,18 +112,18 @@ func run(out io.Writer, in string, list bool, fn, traceIx int, show bool, block 
 	}
 	tr := ft.Traces[traceIx]
 	fmt.Fprintf(out, "trace %d: length %d, %d distinct dynamic blocks\n", traceIx, tr.Len, len(tr.Blocks))
-	if show {
+	if c.show {
 		for _, bt := range tr.Blocks {
 			fmt.Fprintf(out, "  %4d -> %s\n", bt.Block, bt.Times)
 		}
 	}
 
-	if block > 0 {
-		gens, err := parseBlocks(genStr)
+	if block := c.block; block > 0 {
+		gens, err := parseBlocks(c.gen)
 		if err != nil {
 			return err
 		}
-		kills, err := parseBlocks(killStr)
+		kills, err := parseBlocks(c.kill)
 		if err != nil {
 			return err
 		}

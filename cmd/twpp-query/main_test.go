@@ -43,7 +43,7 @@ func w(m) {
 
 func TestRunList(t *testing.T) {
 	p := writeTWPP(t, t.TempDir())
-	if err := run(io.Discard, p, true, -1, 0, false, 0, "", "", 0); err != nil {
+	if err := run(io.Discard, queryConfig{in: p, list: true, fn: -1}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -52,33 +52,37 @@ func TestRunExtractAndQuery(t *testing.T) {
 	p := writeTWPP(t, t.TempDir())
 	// Extract function 1 (w) with timestamp display and a GEN-KILL
 	// query on its loop head.
-	if err := run(io.Discard, p, false, 1, 0, true, 2, "1", "9", 0); err != nil {
+	if err := run(io.Discard, queryConfig{in: p, fn: 1, show: true, block: 2, gen: "1", kill: "9"}); err != nil {
 		t.Fatal(err)
 	}
 	// Same query through the decode cache.
-	if err := run(io.Discard, p, false, 1, 0, true, 2, "1", "9", 16); err != nil {
+	if err := run(io.Discard, queryConfig{in: p, fn: 1, show: true, block: 2, gen: "1", kill: "9", cache: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// And through the mmap backend.
+	if err := run(io.Discard, queryConfig{in: p, fn: 1, show: true, block: 2, gen: "1", kill: "9", mmap: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	p := writeTWPP(t, t.TempDir())
-	if err := run(io.Discard, "", false, 0, 0, false, 0, "", "", 0); err == nil {
+	if err := run(io.Discard, queryConfig{}); err == nil {
 		t.Error("missing input: want error")
 	}
-	if err := run(io.Discard, p, false, -1, 0, false, 0, "", "", 0); err == nil {
+	if err := run(io.Discard, queryConfig{in: p, fn: -1}); err == nil {
 		t.Error("neither list nor func: want error")
 	}
-	if err := run(io.Discard, p, false, 1, 99, false, 0, "", "", 0); err == nil {
+	if err := run(io.Discard, queryConfig{in: p, fn: 1, traceIx: 99}); err == nil {
 		t.Error("bad trace index: want error")
 	}
-	if err := run(io.Discard, p, false, 99, 0, false, 0, "", "", 0); err == nil {
+	if err := run(io.Discard, queryConfig{in: p, fn: 99}); err == nil {
 		t.Error("absent function: want error")
 	}
-	if err := run(io.Discard, p, false, 1, 0, false, 2, "x", "", 0); err == nil {
+	if err := run(io.Discard, queryConfig{in: p, fn: 1, block: 2, gen: "x"}); err == nil {
 		t.Error("bad gen list: want error")
 	}
-	if err := run(io.Discard, p, false, 1, 0, false, 2, "", "y", 0); err == nil {
+	if err := run(io.Discard, queryConfig{in: p, fn: 1, block: 2, kill: "y"}); err == nil {
 		t.Error("bad kill list: want error")
 	}
 }

@@ -84,9 +84,20 @@ func serveGet(t *testing.T, h http.Handler, path string) (int, []byte) {
 
 // The JSON bodies of the query endpoints are golden: a serving-layer
 // change that reorders fields or alters values shows up as a diff.
+// testConfig wraps a path list in the config the tests share.
+func testConfig(in string, maxInflight int) serveConfig {
+	return serveConfig{
+		in:          in,
+		cache:       16,
+		maxInflight: maxInflight,
+		timeout:     time.Minute,
+		quiet:       true,
+	}
+}
+
 func TestGoldenEndpoints(t *testing.T) {
 	p := writeTWPP(t, t.TempDir())
-	s, err := newServer(p, 16, 8, time.Minute, true)
+	s, err := newServer(testConfig(p, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +127,7 @@ func TestGoldenEndpoints(t *testing.T) {
 // every serving metric family must be present with a TYPE line.
 func TestMetricsShape(t *testing.T) {
 	p := writeTWPP(t, t.TempDir())
-	s, err := newServer(p, 16, 8, time.Minute, true)
+	s, err := newServer(testConfig(p, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,6 +162,11 @@ func TestMetricsShape(t *testing.T) {
 		"twpp_request_seconds_sum",
 		"twpp_request_seconds_count",
 		"twpp_mounted_files 1",
+		"# TYPE twpp_mount_t_requests_total counter",
+		"# TYPE twpp_mount_t_errors_total counter",
+		"# TYPE twpp_mount_t_cache_hits_total counter",
+		"# TYPE twpp_mount_t_cache_misses_total counter",
+		"# TYPE twpp_mount_t_decode_bytes_total counter",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -183,20 +199,27 @@ func TestExitCodes(t *testing.T) {
 	cases := []struct {
 		name        string
 		in          string
+		mounts      string
 		maxInflight int
 		want        int
 	}{
-		{"success", valid, 16, cli.ExitOK},
-		{"missing -in is usage", "", 16, cli.ExitUsage},
-		{"empty -in list is usage", " , ", 16, cli.ExitUsage},
-		{"zero max-inflight is usage", valid, 0, cli.ExitUsage},
-		{"absent file is plain failure", filepath.Join(dir, "nope.twpp"), 16, cli.ExitFailure},
-		{"bad magic is corrupt", corruptPath, 16, cli.ExitCorrupt},
-		{"truncated header", truncPath, 16, cli.ExitTruncated},
+		{"success", valid, "", 16, cli.ExitOK},
+		{"missing -in is usage", "", "", 16, cli.ExitUsage},
+		{"empty -in list is usage", " , ", "", 16, cli.ExitUsage},
+		{"zero max-inflight is usage", valid, "", 0, cli.ExitUsage},
+		{"bad -mount pair is usage", "", "nameonly", 16, cli.ExitUsage},
+		{"explicit -mount works", "", "m=" + valid, 16, cli.ExitOK},
+		{"absent file is plain failure", filepath.Join(dir, "nope.twpp"), "", 16, cli.ExitFailure},
+		{"bad magic is corrupt", corruptPath, "", 16, cli.ExitCorrupt},
+		{"truncated header", truncPath, "", 16, cli.ExitTruncated},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			s, err := newServer(tc.in, 8, tc.maxInflight, time.Second, true)
+			c := testConfig(tc.in, tc.maxInflight)
+			c.mounts = tc.mounts
+			c.timeout = time.Second
+			c.cache = 8
+			s, err := newServer(c)
 			if s != nil {
 				s.Close()
 			}
@@ -220,7 +243,10 @@ func TestMultiMount(t *testing.T) {
 	if err := os.Rename(b, second); err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(a+","+second, 8, 16, time.Second, true)
+	c := testConfig(a+","+second, 16)
+	c.timeout = time.Second
+	c.cache = 8
+	s, err := newServer(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,5 +256,76 @@ func TestMultiMount(t *testing.T) {
 	}
 	if status, _ := serveGet(t, s.Handler(), "/funcs?file=second"); status != http.StatusOK {
 		t.Errorf("/funcs?file=second: status %d", status)
+	}
+	h := s.Handler()
+	// The /v1/{mount}/... namespace routes to the named mount; an
+	// unknown mount is a 404.
+	for path, want := range map[string]int{
+		"/v1/second/funcs":                      http.StatusOK,
+		"/v1/t/trace/1":                         http.StatusOK,
+		"/v1/second/stats/1":                    http.StatusOK,
+		"/v1/t/cfg/1":                           http.StatusOK,
+		"/v1/second/query?func=1&block=2&gen=1": http.StatusOK,
+		"/v1/nosuch/funcs":                      http.StatusNotFound,
+	} {
+		if status, body := serveGet(t, h, path); status != want {
+			t.Errorf("GET %s: status %d, want %d:\n%s", path, status, want, body)
+		}
+	}
+	// /mounts lists the catalog with formats and section sizes.
+	status, body := serveGet(t, h, "/mounts")
+	if status != http.StatusOK {
+		t.Fatalf("/mounts: status %d", status)
+	}
+	for _, want := range []string{`"t"`, `"second"`, `"format": 2`, `"block_bytes"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/mounts body missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// The -mmap and -verify paths must serve identical bytes to the file
+// backend, and a flipped byte in a v2 payload must fail startup with
+// the corrupt exit class when -verify is on.
+func TestMmapAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	p := writeTWPP(t, dir)
+
+	base := testConfig(p, 8)
+	ref, err := newServer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	_, want := serveGet(t, ref.Handler(), "/trace/1")
+
+	mc := testConfig(p, 8)
+	mc.mmap = true
+	mc.verify = true
+	s, err := newServer(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if status, got := serveGet(t, s.Handler(), "/trace/1"); status != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("mmap /trace/1: status %d, body parity %v", status, bytes.Equal(got, want))
+	}
+
+	img, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := filepath.Join(dir, "flip.twpp")
+	// Flip one payload bit past the header; -verify must refuse it.
+	if err := os.WriteFile(flipped, testkit.BitFlip(img, len(img)/2, 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fc := testConfig(flipped, 8)
+	fc.verify = true
+	if s, err := newServer(fc); err == nil {
+		s.Close()
+		t.Fatal("verify accepted a flipped payload byte")
+	} else if got := cli.ExitCode(err); got != cli.ExitCorrupt {
+		t.Fatalf("flipped payload exit code %d, want %d (err: %v)", got, cli.ExitCorrupt, err)
 	}
 }

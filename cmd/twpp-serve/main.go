@@ -7,24 +7,32 @@
 //
 // Usage:
 //
-//	twpp-serve -in trace.twpp[,more.twpp...] [-addr :7070] [-cache 64]
-//	           [-max-inflight 64] [-timeout 5s] [-quiet]
+//	twpp-serve -in trace.twpp[,more.twpp...] [-mount name=path,...]
+//	           [-addr :7070] [-cache 64] [-max-inflight 64]
+//	           [-timeout 5s] [-mmap] [-verify] [-quiet]
 //
-// Endpoints (all GET; add ?file=name to select a non-default mount):
+// Endpoints (all GET; select a non-default mount with ?file=name or
+// the /v1/{mount}/... prefix):
 //
+//	/mounts               the catalog: names, formats, section sizes
 //	/funcs                functions, hottest first
 //	/trace/{fn}[?trace=N] one function's TWPP traces (timestamp maps)
 //	/stats/{fn}           per-function stats summary
 //	/cfg/{fn}?trace=N     timestamp-annotated dynamic CFG
 //	/query?func=F&block=B&gen=ids&kill=ids[&trace=N]
 //	                      profile-limited GEN-KILL query
-//	/metrics              Prometheus text metrics
+//	/v1/{mount}/...       any of the five query routes, mount in path
+//	/metrics              Prometheus text metrics (incl. per-mount)
 //	/debug/pprof/         runtime profiles
 //	/healthz              liveness
 //
-// Mount names are the files' base names without extension. The server
-// drains gracefully on SIGINT/SIGTERM: listeners close, in-flight
-// requests finish (up to the drain timeout), then the process exits.
+// -in files mount under their base names without extension; -mount
+// pairs mount under explicit names. -mmap serves reads from read-only
+// memory mappings instead of file descriptors; -verify checks every
+// section checksum of every mounted v2 file before serving. The
+// server drains gracefully on SIGINT/SIGTERM: listeners close,
+// in-flight requests finish (up to the drain timeout), then the
+// process exits.
 package main
 
 import (
@@ -42,42 +50,63 @@ import (
 
 	"twpp/internal/cli"
 	"twpp/internal/server"
+	"twpp/internal/storage"
 )
+
+// serveConfig carries the validated flag values newServer consumes.
+type serveConfig struct {
+	in          string // comma-separated paths, mounted by base name
+	mounts      string // comma-separated name=path pairs
+	cache       int
+	maxInflight int
+	timeout     time.Duration
+	mmap        bool
+	verify      bool
+	quiet       bool
+}
 
 func main() {
 	var (
-		in          = flag.String("in", "", "comma-separated compacted TWPP files to mount (required)")
-		addr        = flag.String("addr", ":7070", "listen address")
-		cache       = flag.Int("cache", server.DefaultCacheEntries, "decoded-block LRU cache entries per mounted file")
-		maxInflight = flag.Int("max-inflight", server.DefaultMaxInFlight, "concurrent query requests before 429")
-		timeout     = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline (negative disables)")
-		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
-		quiet       = flag.Bool("quiet", false, "suppress per-request log lines")
+		c     serveConfig
+		addr  = flag.String("addr", ":7070", "listen address")
+		drain = flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
 	)
+	flag.StringVar(&c.in, "in", "", "comma-separated compacted TWPP files to mount by base name")
+	flag.StringVar(&c.mounts, "mount", "", "comma-separated name=path mounts (explicit names)")
+	flag.IntVar(&c.cache, "cache", server.DefaultCacheEntries, "decoded-block LRU cache entries per mounted file")
+	flag.IntVar(&c.maxInflight, "max-inflight", server.DefaultMaxInFlight, "concurrent query requests before 429")
+	flag.DurationVar(&c.timeout, "timeout", server.DefaultRequestTimeout, "per-request deadline (negative disables)")
+	flag.BoolVar(&c.mmap, "mmap", false, "serve reads from read-only memory mappings")
+	flag.BoolVar(&c.verify, "verify", false, "verify every section checksum of mounted v2 files at startup")
+	flag.BoolVar(&c.quiet, "quiet", false, "suppress per-request log lines")
 	flag.Parse()
-	cli.Exit("twpp-serve", run(*in, *addr, *cache, *maxInflight, *timeout, *drain, *quiet))
+	cli.Exit("twpp-serve", run(c, *addr, *drain))
 }
 
 // newServer validates flags, builds the server, and mounts every file.
 // Split from run so tests can drive the full mount path without a
 // listener.
-func newServer(in string, cache, maxInflight int, timeout time.Duration, quiet bool) (*server.Server, error) {
-	if in == "" {
-		return nil, cli.Usagef("missing -in")
+func newServer(c serveConfig) (*server.Server, error) {
+	if c.in == "" && c.mounts == "" {
+		return nil, cli.Usagef("missing -in or -mount")
 	}
-	if maxInflight < 1 {
+	if c.maxInflight < 1 {
 		return nil, cli.Usagef("-max-inflight must be >= 1")
 	}
 	opts := server.Options{
-		CacheEntries:   cache,
-		MaxInFlight:    maxInflight,
-		RequestTimeout: timeout,
+		CacheEntries:   c.cache,
+		MaxInFlight:    c.maxInflight,
+		RequestTimeout: c.timeout,
 	}
-	if !quiet {
+	opts.Open.VerifyChecksums = c.verify
+	if c.mmap {
+		opts.Open.Backend = storage.KindMmap
+	}
+	if !c.quiet {
 		opts.LogWriter = os.Stderr
 	}
 	s := server.New(opts)
-	for _, path := range strings.Split(in, ",") {
+	for _, path := range strings.Split(c.in, ",") {
 		path = strings.TrimSpace(path)
 		if path == "" {
 			continue
@@ -88,15 +117,30 @@ func newServer(in string, cache, maxInflight int, timeout time.Duration, quiet b
 			return nil, err
 		}
 	}
+	for _, pair := range strings.Split(c.mounts, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, path, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || path == "" {
+			s.Close()
+			return nil, cli.Usagef("bad -mount entry %q (want name=path)", pair)
+		}
+		if err := s.Mount(name, path); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
 	if len(s.Mounts()) == 0 {
 		s.Close()
-		return nil, cli.Usagef("-in lists no files")
+		return nil, cli.Usagef("-in and -mount list no files")
 	}
 	return s, nil
 }
 
-func run(in, addr string, cache, maxInflight int, timeout, drain time.Duration, quiet bool) error {
-	s, err := newServer(in, cache, maxInflight, timeout, quiet)
+func run(c serveConfig, addr string, drain time.Duration) error {
+	s, err := newServer(c)
 	if err != nil {
 		return err
 	}

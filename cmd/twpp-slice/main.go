@@ -5,7 +5,10 @@
 // Usage:
 //
 //	twpp-slice -src prog.mini [-input 3,-4,3,-2] [-func main] \
-//	           -block 14 [-var Z] [-time T] [-approach 3|2|1|inter]
+//	           -block 14 [-var Z] [-time T] [-approach 3|2|1|inter] [-v]
+//
+// -v first prints a header describing the traced execution and the
+// container format version its compacted form carries.
 //
 // With -approach inter the slice crosses call boundaries
 // (interprocedural, instance-precise); otherwise the named
@@ -41,12 +44,13 @@ func main() {
 		varName  = flag.String("var", "", "criterion variable (default: the block's uses)")
 		instant  = flag.Int64("time", 0, "criterion instance timestamp (0 = last execution)")
 		approach = flag.String("approach", "3", "1, 2, 3, or inter")
+		verbose  = flag.Bool("v", false, "print a trace header with the container format version")
 	)
 	flag.Parse()
-	cli.Exit("twpp-slice", run(*srcPath, *input, *funcName, *block, *varName, *instant, *approach, os.Stdout))
+	cli.Exit("twpp-slice", run(*srcPath, *input, *funcName, *block, *varName, *instant, *approach, *verbose, os.Stdout))
 }
 
-func run(srcPath, input, funcName string, block int, varName string, instant int64, approach string, out io.Writer) error {
+func run(srcPath, input, funcName string, block int, varName string, instant int64, approach string, verbose bool, out io.Writer) error {
 	if srcPath == "" {
 		return cli.Usagef("missing -src")
 	}
@@ -68,6 +72,10 @@ func run(srcPath, input, funcName string, block int, varName string, instant int
 	res, err := prog.Trace(vals)
 	if err != nil {
 		return err
+	}
+	if verbose {
+		fmt.Fprintf(out, "%s: %d functions, %d unique traces, container format v%d\n",
+			srcPath, len(prog.Names), len(res.WPP.Traces), twpp.DefaultFormat)
 	}
 
 	fnID, ok := prog.FuncByName(funcName)

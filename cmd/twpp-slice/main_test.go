@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -48,9 +50,22 @@ func TestAllApproaches(t *testing.T) {
 	}
 	defer null.Close()
 	for _, a := range []string{"1", "2", "3", "inter"} {
-		if err := run(src, "3,-4,3,-2", "main", 14, "Z", 0, a, null); err != nil {
+		if err := run(src, "3,-4,3,-2", "main", 14, "Z", 0, a, false, null); err != nil {
 			t.Errorf("approach %s: %v", a, err)
 		}
+	}
+}
+
+// -v prepends a header naming the container format version.
+func TestVerboseHeader(t *testing.T) {
+	src := writeSrc(t)
+	var buf bytes.Buffer
+	if err := run(src, "3,-4,3,-2", "main", 14, "Z", 0, "3", true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	head, _, _ := strings.Cut(buf.String(), "\n")
+	if !strings.Contains(head, "container format v2") {
+		t.Errorf("-v header = %q", head)
 	}
 }
 
@@ -59,10 +74,10 @@ func TestSliceInCallee(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	defer null.Close()
 	// f1's only block is 1.
-	if err := run(src, "3,-4,3,-2", "f1", 1, "", 0, "inter", null); err != nil {
+	if err := run(src, "3,-4,3,-2", "f1", 1, "", 0, "inter", false, null); err != nil {
 		t.Errorf("callee slice: %v", err)
 	}
-	if err := run(src, "3,-4,3,-2", "f1", 1, "", 0, "3", null); err != nil {
+	if err := run(src, "3,-4,3,-2", "f1", 1, "", 0, "3", false, null); err != nil {
 		t.Errorf("callee intraprocedural slice: %v", err)
 	}
 }
@@ -75,13 +90,13 @@ func TestSliceErrors(t *testing.T) {
 		name string
 		err  func() error
 	}{
-		{"missing src", func() error { return run("", "", "main", 1, "", 0, "3", null) }},
-		{"missing block", func() error { return run(src, "", "main", 0, "", 0, "3", null) }},
-		{"bad approach", func() error { return run(src, "1,1", "main", 14, "", 0, "9", null) }},
-		{"bad function", func() error { return run(src, "1,1", "nope", 14, "", 0, "3", null) }},
-		{"bad input", func() error { return run(src, "x", "main", 14, "", 0, "3", null) }},
-		{"absent file", func() error { return run("/no/such/file", "", "main", 1, "", 0, "3", null) }},
-		{"unexecuted block", func() error { return run(src, "0", "main", 7, "", 0, "3", null) }},
+		{"missing src", func() error { return run("", "", "main", 1, "", 0, "3", false, null) }},
+		{"missing block", func() error { return run(src, "", "main", 0, "", 0, "3", false, null) }},
+		{"bad approach", func() error { return run(src, "1,1", "main", 14, "", 0, "9", false, null) }},
+		{"bad function", func() error { return run(src, "1,1", "nope", 14, "", 0, "3", false, null) }},
+		{"bad input", func() error { return run(src, "x", "main", 14, "", 0, "3", false, null) }},
+		{"absent file", func() error { return run("/no/such/file", "", "main", 1, "", 0, "3", false, null) }},
+		{"unexecuted block", func() error { return run(src, "0", "main", 7, "", 0, "3", false, null) }},
 	}
 	for _, c := range cases {
 		if c.err() == nil {

@@ -70,6 +70,8 @@ func ExitCode(err error) int {
 		case encoding.CodeLimit:
 			return ExitLimit
 		default:
+			// CodeBadMagic, CodeBadVersion, CodeCorrupt, and
+			// CodeChecksum: the input is damaged or not ours.
 			return ExitCorrupt
 		}
 	}

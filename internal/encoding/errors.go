@@ -26,6 +26,10 @@ const (
 	// CodeLimit: the input declared sizes beyond a configured decode
 	// resource limit; decoding stopped before allocating for them.
 	CodeLimit
+	// CodeChecksum: a stored CRC did not match the bytes it covers —
+	// the container is recognized and structurally parseable but its
+	// content has been altered (bit rot, torn write, tampering).
+	CodeChecksum
 )
 
 // String names the code for logs and error text.
@@ -43,6 +47,8 @@ func (c ErrorCode) String() string {
 		return "corrupt"
 	case CodeLimit:
 		return "limit-exceeded"
+	case CodeChecksum:
+		return "checksum-mismatch"
 	default:
 		return "unknown"
 	}

@@ -139,24 +139,31 @@ func writeJSONError(w http.ResponseWriter, status int, code, msg string) {
 	w.Write(append(data, '\n'))
 }
 
-// resolveMount picks the mount named by ?file= (default: the first
-// mounted file).
-func (s *Server) resolveMount(r *http.Request) (*mount, error) {
-	name := r.URL.Query().Get("file")
+// mountRefKey/mountRef pass the resolved mount back to the limited()
+// wrapper for per-mount request accounting.
+type mountRefKey struct{}
+
+type mountRef struct{ m *Mount }
+
+// resolveMount picks the mount addressed by the request: the
+// /v1/{mount}/... path segment when present, else ?file=, else the
+// default (first mounted file).
+func (s *Server) resolveMount(r *http.Request) (*Mount, error) {
+	name := r.PathValue("mount")
 	if name == "" {
-		if len(s.order) == 0 {
-			return nil, fmt.Errorf("server: no files mounted: %w", errNotFound)
-		}
-		return s.mounts[s.order[0]], nil
+		name = r.URL.Query().Get("file")
 	}
-	m, ok := s.mounts[name]
-	if !ok {
-		return nil, fmt.Errorf("server: no mount %q: %w", name, errNotFound)
+	m, err := s.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if ref, ok := r.Context().Value(mountRefKey{}).(*mountRef); ok {
+		ref.m = m
 	}
 	return m, nil
 }
 
-func (s *Server) funcName(m *mount, fn cfg.FuncID) string {
+func (s *Server) funcName(m *Mount, fn cfg.FuncID) string {
 	if int(fn) < len(m.file.FuncNames) {
 		return m.file.FuncNames[fn]
 	}
@@ -200,6 +207,48 @@ func queryBlocks(r *http.Request, key string) (map[cfg.BlockID]bool, error) {
 	return out, nil
 }
 
+// MountInfo is one catalog entry in a MountsResponse: the mount name,
+// its container format version, and the Table 3 section breakdown.
+type MountInfo struct {
+	Name        string `json:"name"`
+	Format      int    `json:"format"`
+	Functions   int    `json:"functions"`
+	HeaderBytes int64  `json:"header_bytes"`
+	DCGBytes    int64  `json:"dcg_bytes"`
+	BlockBytes  int64  `json:"block_bytes"`
+}
+
+// MountsResponse lists the catalog in mount order (first is the
+// default mount).
+type MountsResponse struct {
+	Mounts []MountInfo `json:"mounts"`
+}
+
+// GET /mounts — list the catalog: every mount's name, format version,
+// and section sizes.
+func (s *Server) handleMounts(w http.ResponseWriter, _ *http.Request) error {
+	resp := MountsResponse{Mounts: []MountInfo{}}
+	for _, name := range s.cat.Names() {
+		m, err := s.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		hdr, dcg, blocks, err := m.file.SectionSizes()
+		if err != nil {
+			return err
+		}
+		resp.Mounts = append(resp.Mounts, MountInfo{
+			Name:        m.name,
+			Format:      m.file.FormatVersion(),
+			Functions:   len(m.file.Functions()),
+			HeaderBytes: hdr,
+			DCGBytes:    dcg,
+			BlockBytes:  blocks,
+		})
+	}
+	return writeJSON(w, resp)
+}
+
 // GET /funcs — list functions, hottest first (the on-disk index order).
 func (s *Server) handleFuncs(w http.ResponseWriter, r *http.Request) error {
 	m, err := s.resolveMount(r)
@@ -219,7 +268,7 @@ func (s *Server) handleFuncs(w http.ResponseWriter, r *http.Request) error {
 }
 
 // extract runs the deadline-threaded single-seek extraction.
-func (s *Server) extract(r *http.Request, m *mount, fn cfg.FuncID) (*core.FunctionTWPP, error) {
+func (s *Server) extract(r *http.Request, m *Mount, fn cfg.FuncID) (*core.FunctionTWPP, error) {
 	return m.file.ExtractFunctionCtx(r.Context(), fn)
 }
 

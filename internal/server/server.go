@@ -91,16 +91,9 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// mount is one opened compacted file.
-type mount struct {
-	name string
-	path string
-	file *wppfile.CompactedFile
-}
-
-// Server serves query requests over mounted compacted TWPP files. It
-// is safe for concurrent use once built; Mount is not concurrent with
-// serving (mount everything, then serve).
+// Server serves query requests over a catalog of mounted compacted
+// TWPP files. It is safe for concurrent use once built; Mount is not
+// concurrent with serving (mount everything, then serve).
 type Server struct {
 	opts Options
 	reg  *obs.Registry
@@ -110,8 +103,7 @@ type Server struct {
 	logMu sync.Mutex
 	logW  io.Writer
 
-	mounts map[string]*mount
-	order  []string
+	cat *Catalog
 
 	// Metrics handles, resolved once.
 	mRequests    *obs.Counter
@@ -136,11 +128,10 @@ func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	r := opts.Registry
 	s := &Server{
-		opts:   opts,
-		reg:    r,
-		sem:    make(chan struct{}, opts.MaxInFlight),
-		logW:   opts.LogWriter,
-		mounts: make(map[string]*mount),
+		opts: opts,
+		reg:  r,
+		sem:  make(chan struct{}, opts.MaxInFlight),
+		logW: opts.LogWriter,
 
 		mRequests:    r.Counter("twpp_requests_total"),
 		m2xx:         r.Counter("twpp_responses_2xx_total"),
@@ -158,7 +149,19 @@ func New(opts Options) *Server {
 		mCacheMisses: r.Counter("twpp_cache_misses_total"),
 		mDecodeBytes: r.Counter("twpp_decode_bytes_total"),
 	}
-	r.GaugeFunc("twpp_mounted_files", func() float64 { return float64(len(s.order)) })
+	s.cat = NewCatalog(CatalogOptions{
+		Open:         opts.Open,
+		CacheEntries: opts.CacheEntries,
+		Registry:     r,
+		Instrument: &wppfile.Instrument{
+			OnDecode: func(_ cfg.FuncID, n int) {
+				s.mCacheMisses.Inc()
+				s.mDecodeBytes.Add(uint64(n))
+			},
+			OnCacheHit: func(_ cfg.FuncID) { s.mCacheHits.Inc() },
+		},
+	})
+	r.GaugeFunc("twpp_mounted_files", func() float64 { return float64(s.cat.Len()) })
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -176,60 +179,40 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /stats/{fn}", s.limited(s.handleStats))
 	mux.HandleFunc("GET /cfg/{fn}", s.limited(s.handleCFG))
 	mux.HandleFunc("GET /query", s.limited(s.handleQuery))
+	// The /v1/{mount}/... namespace addresses a mount in the path;
+	// the legacy flat routes above keep working with ?file=.
+	mux.HandleFunc("GET /mounts", s.limited(s.handleMounts))
+	mux.HandleFunc("GET /v1/{mount}/funcs", s.limited(s.handleFuncs))
+	mux.HandleFunc("GET /v1/{mount}/trace/{fn}", s.limited(s.handleTrace))
+	mux.HandleFunc("GET /v1/{mount}/stats/{fn}", s.limited(s.handleStats))
+	mux.HandleFunc("GET /v1/{mount}/cfg/{fn}", s.limited(s.handleCFG))
+	mux.HandleFunc("GET /v1/{mount}/query", s.limited(s.handleQuery))
 	s.mux = mux
 	return s
 }
 
 // Mount opens path read-only under the given name (the default mount
-// is the first one mounted; requests select others with ?file=name).
-// The file is opened with the server's decode limits, its own decode
-// cache, and instrumentation feeding the cache/decode metrics.
+// is the first one mounted; requests select others with ?file=name or
+// the /v1/{mount}/... path). The file is opened with the server's
+// decode limits and backend, its own decode cache, and
+// instrumentation feeding both the aggregate and per-mount
+// cache/decode metrics.
 func (s *Server) Mount(name, path string) error {
-	if name == "" {
-		return fmt.Errorf("server: empty mount name")
-	}
-	if _, ok := s.mounts[name]; ok {
-		return fmt.Errorf("server: mount %q already exists", name)
-	}
-	o := s.opts.Open
-	o.CacheEntries = s.opts.CacheEntries
-	o.Instrument = &wppfile.Instrument{
-		OnDecode: func(_ cfg.FuncID, n int) {
-			s.mCacheMisses.Inc()
-			s.mDecodeBytes.Add(uint64(n))
-		},
-		OnCacheHit: func(_ cfg.FuncID) { s.mCacheHits.Inc() },
-	}
-	f, err := wppfile.OpenCompactedOptions(path, o)
-	if err != nil {
-		return err
-	}
-	s.mounts[name] = &mount{name: name, path: path, file: f}
-	s.order = append(s.order, name)
-	return nil
+	return s.cat.Mount(name, path)
 }
 
 // Mounts lists mount names in mount order (first is the default).
-func (s *Server) Mounts() []string {
-	out := make([]string, len(s.order))
-	copy(out, s.order)
-	return out
-}
+func (s *Server) Mounts() []string { return s.cat.Names() }
+
+// Catalog exposes the server's mount catalog.
+func (s *Server) Catalog() *Catalog { return s.cat }
 
 // Registry exposes the server's metrics registry (for tests and for
 // embedding the server alongside other instrumented components).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Close releases every mounted file.
-func (s *Server) Close() error {
-	var first error
-	for _, m := range s.mounts {
-		if err := m.file.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
-}
+func (s *Server) Close() error { return s.cat.Close() }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s }
@@ -271,6 +254,11 @@ func (s *Server) limited(h handlerFunc) http.HandlerFunc {
 			ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
 			defer cancel()
 		}
+		// The handler records which mount it resolved here, so the
+		// wrapper can attribute the request (and any failure) to that
+		// mount's counters without changing handler signatures.
+		ref := &mountRef{}
+		ctx = context.WithValue(ctx, mountRefKey{}, ref)
 		r = r.WithContext(ctx)
 
 		var err error
@@ -288,6 +276,12 @@ func (s *Server) limited(h handlerFunc) http.HandlerFunc {
 		if err != nil {
 			status, code = classify(err)
 			writeJSONError(w, status, code, err.Error())
+		}
+		if m := ref.m; m != nil && m.mRequests != nil {
+			m.mRequests.Inc()
+			if err != nil {
+				m.mErrors.Inc()
+			}
 		}
 		s.countStatus(status, code)
 		s.mLatency.Observe(time.Since(start).Seconds())

@@ -1,0 +1,72 @@
+//go:build linux
+
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// OpenMmap maps path read-only into the address space. The descriptor
+// is closed immediately after mapping (the mapping survives it), so an
+// mmap backend holds no file descriptor between reads. Empty files get
+// a memory backend: mmap of length 0 is an error on linux.
+func OpenMmap(path string) (Backend, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		f.Close()
+		return FromBytes(nil), nil
+	}
+	if size != int64(int(size)) {
+		f.Close()
+		return nil, fmt.Errorf("storage: file %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("storage: mmap %s: %w", path, err)
+	}
+	return &mmapBackend{data: data}, nil
+}
+
+// mmapBackend serves reads straight out of the mapping. Reads are pure
+// memory copies; Close unmaps.
+type mmapBackend struct {
+	data []byte
+}
+
+func (b *mmapBackend) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d", off)
+	}
+	if off >= int64(len(b.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (b *mmapBackend) Size() int64 { return int64(len(b.data)) }
+
+func (b *mmapBackend) Close() error {
+	if b.data == nil {
+		return nil
+	}
+	data := b.data
+	b.data = nil
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package storage
+
+// OpenMmap on non-linux platforms falls back to the positioned-read
+// file backend: the Backend contract is identical, only the syscall
+// profile differs, so callers can request KindMmap unconditionally.
+func OpenMmap(path string) (Backend, error) {
+	return OpenFile(path)
+}

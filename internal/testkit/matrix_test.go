@@ -1,0 +1,33 @@
+package testkit
+
+import (
+	"fmt"
+	"testing"
+
+	"twpp/internal/storage"
+	"twpp/internal/wppfile"
+)
+
+// Every generator shape must round-trip and extract identically at
+// every (container format, storage backend) cell: the format decides
+// the bytes on disk, the backend decides how they are read, and
+// neither axis may change what a reader observes.
+func TestFormatBackendMatrix(t *testing.T) {
+	corpus := Corpus(7)
+	for _, format := range []int{wppfile.FormatV1, wppfile.FormatV2} {
+		for _, kind := range []storage.Kind{storage.KindFile, storage.KindMmap, storage.KindMemory} {
+			for _, shape := range Shapes() {
+				w := corpus[shape]
+				t.Run(fmt.Sprintf("v%d/%s/%s", format, kind, shape), func(t *testing.T) {
+					t.Parallel()
+					if err := RoundTripVariant(w, format, kind); err != nil {
+						t.Errorf("RoundTrip: %v", err)
+					}
+					if err := ExtractVsRawScanVariant(w, format, kind); err != nil {
+						t.Errorf("ExtractVsRawScan: %v", err)
+					}
+				})
+			}
+		}
+	}
+}

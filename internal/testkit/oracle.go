@@ -10,6 +10,7 @@ import (
 	"twpp/internal/cfg"
 	"twpp/internal/core"
 	"twpp/internal/encoding"
+	"twpp/internal/storage"
 	"twpp/internal/trace"
 	"twpp/internal/wpp"
 	"twpp/internal/wppfile"
@@ -42,8 +43,18 @@ func EncodeBoth(w *trace.RawWPP) (raw, compacted []byte, err error) {
 
 // RoundTrip checks encode/decode identity on both formats: the raw
 // file re-reads to an event-equal WPP, and the compacted file re-reads
-// to a TWPP that reconstructs the original path exactly.
+// to a TWPP that reconstructs the original path exactly. It exercises
+// the default container format over the file backend; RoundTripVariant
+// pins both axes.
 func RoundTrip(w *trace.RawWPP) error {
+	return RoundTripVariant(w, 0, storage.KindFile)
+}
+
+// RoundTripVariant is RoundTrip over a chosen container format (0 =
+// writer default) and storage backend, with eager checksum
+// verification on — the matrix cell every format/backend combination
+// must pass identically.
+func RoundTripVariant(w *trace.RawWPP, format int, kind storage.Kind) error {
 	dir, err := os.MkdirTemp("", "testkit-*")
 	if err != nil {
 		return err
@@ -54,7 +65,7 @@ func RoundTrip(w *trace.RawWPP) error {
 	if err := wppfile.WriteRaw(rawPath, w); err != nil {
 		return fmt.Errorf("write raw: %w", err)
 	}
-	back, err := wppfile.ReadRaw(rawPath)
+	back, err := wppfile.ReadRawKind(rawPath, kind)
 	if err != nil {
 		return fmt.Errorf("re-read raw: %w", err)
 	}
@@ -65,14 +76,20 @@ func RoundTrip(w *trace.RawWPP) error {
 	c, _ := wpp.Compact(w)
 	t := core.FromCompacted(c)
 	twppPath := filepath.Join(dir, "t.twpp")
-	if err := wppfile.WriteCompacted(twppPath, t); err != nil {
+	if err := wppfile.WriteCompactedFormat(twppPath, t, 1, format); err != nil {
 		return fmt.Errorf("write compacted: %w", err)
 	}
-	cf, err := wppfile.OpenCompacted(twppPath)
+	cf, err := wppfile.OpenCompactedOptions(twppPath, wppfile.OpenOptions{
+		Backend:         kind,
+		VerifyChecksums: true,
+	})
 	if err != nil {
 		return fmt.Errorf("open compacted: %w", err)
 	}
 	defer cf.Close()
+	if format != 0 && cf.FormatVersion() != format {
+		return fmt.Errorf("format version %d, want %d", cf.FormatVersion(), format)
+	}
 	t2, err := cf.ReadAll()
 	if err != nil {
 		return fmt.Errorf("read compacted: %w", err)
@@ -123,8 +140,16 @@ func BatchStreamParity(w *trace.RawWPP) error {
 // ExtractVsRawScan checks that for every function, random-access
 // extraction from the compacted file expands to exactly the per-call
 // traces a linear scan of the raw file yields, in the same
-// (call-completion) order.
+// (call-completion) order. It exercises the default container format
+// over the file backend; ExtractVsRawScanVariant pins both axes.
 func ExtractVsRawScan(w *trace.RawWPP) error {
+	return ExtractVsRawScanVariant(w, 0, storage.KindFile)
+}
+
+// ExtractVsRawScanVariant is ExtractVsRawScan over a chosen container
+// format (0 = writer default) and storage backend: both the raw scan
+// and the compacted extraction read through the same backend kind.
+func ExtractVsRawScanVariant(w *trace.RawWPP, format int, kind storage.Kind) error {
 	dir, err := os.MkdirTemp("", "testkit-*")
 	if err != nil {
 		return err
@@ -138,10 +163,10 @@ func ExtractVsRawScan(w *trace.RawWPP) error {
 	c, _ := wpp.Compact(w)
 	t := core.FromCompacted(c)
 	twppPath := filepath.Join(dir, "t.twpp")
-	if err := wppfile.WriteCompacted(twppPath, t); err != nil {
+	if err := wppfile.WriteCompactedFormat(twppPath, t, 1, format); err != nil {
 		return err
 	}
-	cf, err := wppfile.OpenCompacted(twppPath)
+	cf, err := wppfile.OpenCompactedOptions(twppPath, wppfile.OpenOptions{Backend: kind})
 	if err != nil {
 		return err
 	}
@@ -153,7 +178,7 @@ func ExtractVsRawScan(w *trace.RawWPP) error {
 
 	for f := range w.FuncNames {
 		fn := cfg.FuncID(f)
-		scanned, err := wppfile.ScanRawForFunction(rawPath, fn)
+		scanned, err := wppfile.ScanRawForFunctionKind(rawPath, fn, kind)
 		if err != nil {
 			return fmt.Errorf("f%d: raw scan: %w", f, err)
 		}

@@ -1,0 +1,26 @@
+// Package wppfile defines the two on-disk WPP formats compared in
+// Zhang & Gupta (PLDI 2001, Table 4):
+//
+//   - the uncompacted WPP file: the linear control flow trace as a
+//     varint symbol stream, from which extracting one function's path
+//     traces requires scanning the entire file (column U);
+//
+//   - the compacted TWPP file: a per-function index (hottest function
+//     first), the LZW-compressed dynamic call graph, and per-function
+//     blocks holding the unique TWPP traces and DBB dictionaries — so
+//     extracting one function's traces is a single index lookup plus
+//     one seek (column C).
+//
+// Two compacted container layouts exist. Format v1 is the legacy
+// implicit layout; format v2 (the default write format) wraps the same
+// logical sections in a self-describing container with a trailer
+// section directory and CRC32-C checksums on every section. See
+// layout.go for the byte-level geometry. All readers open both formats
+// transparently; writers emit v2 unless FormatV1 is forced.
+//
+// The package is split by role: layout.go (container geometry and the
+// v2 section machinery), encode.go (writers, batch and streaming),
+// decode.go (block/DCG/header decoders), file.go (the CompactedFile
+// random-access handle over a storage.Backend), raw.go (the
+// uncompacted format), and stream.go (the bounded-memory raw reader).
+package wppfile

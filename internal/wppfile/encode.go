@@ -1,0 +1,451 @@
+// Compacted-format writers: the batch encoders that assemble a file
+// image in memory and the writer-based streaming encoder that never
+// materializes the file. Both emit byte-identical output for a given
+// (TWPP, format) at any worker count; both write format v2 unless
+// FormatV1 is forced.
+
+package wppfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/encoding"
+	"twpp/internal/lzw"
+	"twpp/internal/wpp"
+)
+
+// indexEntry describes one function's block in the file.
+type indexEntry struct {
+	Fn        cfg.FuncID
+	CallCount int
+	Offset    int // relative to the start of the blocks section
+	Length    int
+	// CRC is the CRC32-C of the encoded block bytes. Stored in the v2
+	// index (and verified on every extraction); zero for v1 files.
+	CRC uint32
+}
+
+// checkFormat resolves a requested format: 0 selects DefaultFormat.
+func checkFormat(format int) (int, error) {
+	switch format {
+	case 0:
+		return DefaultFormat, nil
+	case FormatV1, FormatV2:
+		return format, nil
+	default:
+		return 0, fmt.Errorf("wppfile: unknown container format %d", format)
+	}
+}
+
+// WriteCompacted serializes a TWPP in the compacted indexed format.
+func WriteCompacted(path string, t *core.TWPP) error {
+	return WriteCompactedWorkers(path, t, 1)
+}
+
+// WriteCompactedWorkers is WriteCompacted with per-function block
+// encoding fanned out over workers goroutines (<= 0 selects
+// runtime.GOMAXPROCS(0)).
+func WriteCompactedWorkers(path string, t *core.TWPP, workers int) error {
+	return WriteCompactedFormat(path, t, workers, DefaultFormat)
+}
+
+// WriteCompactedFormat is WriteCompactedWorkers writing the given
+// container format (FormatV1, FormatV2, or 0 for the default).
+func WriteCompactedFormat(path string, t *core.TWPP, workers, format int) error {
+	data, err := EncodeCompactedFormat(t, workers, format)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// EncodeCompacted produces the compacted file image in memory.
+func EncodeCompacted(t *core.TWPP) ([]byte, error) {
+	return EncodeCompactedWorkers(t, 1)
+}
+
+// encodeBufPool recycles per-function encode buffers across
+// EncodeCompactedWorkers calls.
+var encodeBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// EncodeCompactedWorkers is EncodeCompacted with the per-function
+// blocks encoded concurrently into pooled buffers. The index and final
+// image are assembled sequentially in hotness order, so the output is
+// byte-identical to the sequential (workers == 1) path for any worker
+// count.
+func EncodeCompactedWorkers(t *core.TWPP, workers int) ([]byte, error) {
+	return EncodeCompactedFormat(t, workers, DefaultFormat)
+}
+
+// EncodeCompactedFormat is EncodeCompactedWorkers emitting the given
+// container format (FormatV1, FormatV2, or 0 for the default).
+func EncodeCompactedFormat(t *core.TWPP, workers, format int) ([]byte, error) {
+	format, err := checkFormat(format)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-function blocks, hottest function first (the paper stores
+	// the most frequently called function's traces first).
+	order := hotOrder(t)
+
+	// Encode each function's block into its own pooled buffer,
+	// concurrently when workers allow. Blocks only ever append to
+	// their buffer, so the per-function bytes are independent of
+	// scheduling.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parts := make([]*[]byte, len(order))
+	runJobs(len(order), workers, func(i int) {
+		bp := encodeBufPool.Get().(*[]byte)
+		*bp = encodeFunctionBlock((*bp)[:0], &t.Funcs[order[i]])
+		parts[i] = bp
+	})
+
+	// Assemble the blocks section and its index sequentially in
+	// hotness order, returning buffers to the pool as they are
+	// consumed.
+	total := 0
+	for _, bp := range parts {
+		total += len(*bp)
+	}
+	blocks := make([]byte, 0, total)
+	index := make([]indexEntry, 0, len(order))
+	for i, f := range order {
+		start := len(blocks)
+		blocks = append(blocks, *parts[i]...)
+		e := indexEntry{
+			Fn:        f,
+			CallCount: t.Funcs[f].CallCount,
+			Offset:    start,
+			Length:    len(blocks) - start,
+		}
+		if format == FormatV2 {
+			e.CRC = Checksum(blocks[start:])
+		}
+		index = append(index, e)
+		encodeBufPool.Put(parts[i])
+		parts[i] = nil
+	}
+
+	dcg := lzw.Compress(encodeDCG(t.Root))
+
+	if format == FormatV1 {
+		// v1: header, names, index, DCG, blocks — implicit layout.
+		buf := appendCompactedHeader(nil, t, index, len(dcg))
+		buf = append(buf, dcg...)
+		buf = append(buf, blocks...)
+		return buf, nil
+	}
+
+	// v2: magic/version, META, DCG, BLOCKS, then the trailer
+	// directory locating and checksumming all three.
+	buf := appendV2Prefix(nil)
+	metaOff := len(buf)
+	buf = appendMetaV2(buf, t, index)
+	meta := section{ID: SecMeta, Codec: CodecRaw, Offset: int64(metaOff),
+		Length: int64(len(buf) - metaOff), CRC: Checksum(buf[metaOff:])}
+	dcgOff := len(buf)
+	buf = append(buf, dcg...)
+	dcgSec := section{ID: SecDCG, Codec: CodecLZW, Offset: int64(dcgOff),
+		Length: int64(len(dcg)), CRC: Checksum(dcg)}
+	blocksOff := len(buf)
+	buf = append(buf, blocks...)
+	blocksSec := section{ID: SecBlocks, Codec: CodecRaw, Offset: int64(blocksOff),
+		Length: int64(len(blocks)), CRC: Checksum(blocks)}
+	return appendDirectory(buf, []section{meta, dcgSec, blocksSec}), nil
+}
+
+// appendV2Prefix appends the fixed v2 prefix: magic plus the version
+// varint — exactly V2HeaderLen bytes.
+func appendV2Prefix(buf []byte) []byte {
+	buf = encoding.PutUint32(buf, MagicCompacted)
+	return encoding.PutUvarint(buf, FormatV2)
+}
+
+// appendCompactedHeader appends the v1 header, name table, index, and
+// DCG length prefix — everything that precedes the compressed DCG
+// bytes in a v1 file.
+func appendCompactedHeader(buf []byte, t *core.TWPP, index []indexEntry, dcgLen int) []byte {
+	buf = encoding.PutUint32(buf, MagicCompacted)
+	buf = encoding.PutUvarint(buf, FormatV1)
+	buf = encoding.PutUvarint(buf, uint64(len(t.FuncNames)))
+	for _, n := range t.FuncNames {
+		buf = encoding.PutString(buf, n)
+	}
+	buf = encoding.PutUvarint(buf, uint64(len(index)))
+	for _, e := range index {
+		buf = encoding.PutUvarint(buf, uint64(e.Fn))
+		buf = encoding.PutUvarint(buf, uint64(e.CallCount))
+		buf = encoding.PutUvarint(buf, uint64(e.Offset))
+		buf = encoding.PutUvarint(buf, uint64(e.Length))
+	}
+	return encoding.PutUvarint(buf, uint64(dcgLen))
+}
+
+// appendMetaV2 appends the v2 META section payload: name table and the
+// per-function index, each entry carrying its block's CRC32-C.
+func appendMetaV2(buf []byte, t *core.TWPP, index []indexEntry) []byte {
+	buf = encoding.PutUvarint(buf, uint64(len(t.FuncNames)))
+	for _, n := range t.FuncNames {
+		buf = encoding.PutString(buf, n)
+	}
+	buf = encoding.PutUvarint(buf, uint64(len(index)))
+	for _, e := range index {
+		buf = encoding.PutUvarint(buf, uint64(e.Fn))
+		buf = encoding.PutUvarint(buf, uint64(e.CallCount))
+		buf = encoding.PutUvarint(buf, uint64(e.Offset))
+		buf = encoding.PutUvarint(buf, uint64(e.Length))
+		buf = encoding.PutUint32(buf, e.CRC)
+	}
+	return buf
+}
+
+// encodeFunctionBlock appends one function's dictionaries and TWPP
+// traces.
+func encodeFunctionBlock(buf []byte, ft *core.FunctionTWPP) []byte {
+	buf = encoding.PutUvarint(buf, uint64(ft.CallCount))
+	buf = encoding.PutUvarint(buf, uint64(len(ft.Dicts)))
+	for _, d := range ft.Dicts {
+		heads := make([]cfg.BlockID, 0, len(d))
+		for h := range d {
+			heads = append(heads, h)
+		}
+		sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+		buf = encoding.PutUvarint(buf, uint64(len(heads)))
+		for _, h := range heads {
+			chain := d[h]
+			buf = encoding.PutUvarint(buf, uint64(h))
+			buf = encoding.PutUvarint(buf, uint64(len(chain)))
+			for _, id := range chain {
+				buf = encoding.PutUvarint(buf, uint64(id))
+			}
+		}
+	}
+	buf = encoding.PutUvarint(buf, uint64(len(ft.Traces)))
+	for i, tr := range ft.Traces {
+		buf = encoding.PutUvarint(buf, uint64(ft.DictOf[i]))
+		buf = encoding.PutUvarint(buf, uint64(tr.Len))
+		buf = encoding.PutUvarint(buf, uint64(len(tr.Blocks)))
+		for _, bt := range tr.Blocks {
+			buf = encoding.PutUvarint(buf, uint64(bt.Block))
+			signed := bt.Times.EncodeSigned(nil)
+			buf = encoding.PutUvarint(buf, uint64(len(signed)))
+			for _, v := range signed {
+				buf = encoding.PutVarint(buf, v)
+			}
+		}
+	}
+	return buf
+}
+
+// encodeDCG serializes the compacted DCG (function, unique trace
+// index, children with positions) in preorder.
+func encodeDCG(root *wpp.CallNode) []byte {
+	var buf []byte
+	var rec func(n *wpp.CallNode)
+	rec = func(n *wpp.CallNode) {
+		buf = encoding.PutUvarint(buf, uint64(n.Fn))
+		buf = encoding.PutUvarint(buf, uint64(n.TraceIdx))
+		buf = encoding.PutUvarint(buf, uint64(len(n.Children)))
+		prev := 0
+		for i, c := range n.Children {
+			buf = encoding.PutUvarint(buf, uint64(n.ChildPos[i]-prev))
+			prev = n.ChildPos[i]
+			rec(c)
+		}
+	}
+	if root != nil {
+		rec(root)
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------
+// Writer-based (streaming) compacted encode.
+// ---------------------------------------------------------------------
+
+// EncodeCompactedTo writes the compacted format to w without
+// materializing the file image: per-function blocks are encoded twice
+// (once to size and checksum the index, once to emit) into pooled
+// buffers bounded by the worker count, so peak memory is O(header +
+// workers * largest block) rather than O(file). The bytes written are
+// identical to EncodeCompactedWorkers at any worker count (workers <=
+// 0 selects runtime.GOMAXPROCS(0)). It returns the total byte count
+// written.
+//
+// The double encode is forced by the format: the index, which precedes
+// the blocks, stores each block's offset, length, and (v2) CRC.
+func EncodeCompactedTo(w io.Writer, t *core.TWPP, workers int) (int64, error) {
+	return EncodeCompactedToFormat(w, t, workers, DefaultFormat)
+}
+
+// EncodeCompactedToFormat is EncodeCompactedTo emitting the given
+// container format (FormatV1, FormatV2, or 0 for the default).
+func EncodeCompactedToFormat(w io.Writer, t *core.TWPP, workers, format int) (int64, error) {
+	format, err := checkFormat(format)
+	if err != nil {
+		return 0, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	order := hotOrder(t)
+
+	// Pass 1: block lengths and checksums, fanned out over the pool.
+	lengths := make([]int, len(order))
+	crcs := make([]uint32, len(order))
+	runJobs(len(order), workers, func(i int) {
+		bp := encodeBufPool.Get().(*[]byte)
+		*bp = encodeFunctionBlock((*bp)[:0], &t.Funcs[order[i]])
+		lengths[i] = len(*bp)
+		if format == FormatV2 {
+			crcs[i] = Checksum(*bp)
+		}
+		encodeBufPool.Put(bp)
+	})
+	index := make([]indexEntry, len(order))
+	off := 0
+	for i, f := range order {
+		index[i] = indexEntry{Fn: f, CallCount: t.Funcs[f].CallCount,
+			Offset: off, Length: lengths[i], CRC: crcs[i]}
+		off += lengths[i]
+	}
+
+	dcg := lzw.Compress(encodeDCG(t.Root))
+
+	// Everything before the blocks section is small; assemble and
+	// write it in one shot. For v2 the section geometry is recorded
+	// now and emitted as the trailer directory after the blocks.
+	var head []byte
+	var meta, dcgSec, blocksSec section
+	if format == FormatV1 {
+		head = appendCompactedHeader(nil, t, index, len(dcg))
+		head = append(head, dcg...)
+	} else {
+		head = appendV2Prefix(nil)
+		metaOff := len(head)
+		head = appendMetaV2(head, t, index)
+		meta = section{ID: SecMeta, Codec: CodecRaw, Offset: int64(metaOff),
+			Length: int64(len(head) - metaOff), CRC: Checksum(head[metaOff:])}
+		dcgSec = section{ID: SecDCG, Codec: CodecLZW, Offset: int64(len(head)),
+			Length: int64(len(dcg)), CRC: Checksum(dcg)}
+		head = append(head, dcg...)
+		blocksSec = section{ID: SecBlocks, Codec: CodecRaw,
+			Offset: int64(len(head)), Length: int64(off)}
+	}
+	var written int64
+	n, err := w.Write(head)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+
+	// Pass 2: re-encode and emit blocks in index order, a
+	// workers-sized batch at a time — encode concurrently, write
+	// sequentially. The v2 BLOCKS section checksum accumulates over
+	// the bytes as they go out.
+	var blocksCRC uint32
+	parts := make([]*[]byte, len(order))
+	for start := 0; start < len(order); start += workers {
+		end := start + workers
+		if end > len(order) {
+			end = len(order)
+		}
+		runJobs(end-start, workers, func(j int) {
+			i := start + j
+			bp := encodeBufPool.Get().(*[]byte)
+			*bp = encodeFunctionBlock((*bp)[:0], &t.Funcs[order[i]])
+			parts[i] = bp
+		})
+		for i := start; i < end; i++ {
+			bp := parts[i]
+			parts[i] = nil
+			if len(*bp) != lengths[i] {
+				encodeBufPool.Put(bp)
+				return written, fmt.Errorf("wppfile: function %d block re-encoded to %d bytes, index says %d",
+					order[i], len(*bp), lengths[i])
+			}
+			if format == FormatV2 {
+				if got := Checksum(*bp); got != crcs[i] {
+					encodeBufPool.Put(bp)
+					return written, fmt.Errorf("wppfile: function %d block re-encoded with checksum %08x, index says %08x",
+						order[i], got, crcs[i])
+				}
+				blocksCRC = checksumUpdate(blocksCRC, *bp)
+			}
+			n, err := w.Write(*bp)
+			written += int64(n)
+			encodeBufPool.Put(bp)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	if format == FormatV1 {
+		return written, nil
+	}
+
+	blocksSec.CRC = blocksCRC
+	tail := appendDirectory(nil, []section{meta, dcgSec, blocksSec})
+	n, err = w.Write(tail)
+	written += int64(n)
+	return written, err
+}
+
+// hotOrder returns the called functions hottest-first (call count
+// descending, id ascending) — the on-disk block order.
+func hotOrder(t *core.TWPP) []cfg.FuncID {
+	order := make([]cfg.FuncID, 0, len(t.Funcs))
+	for f := range t.Funcs {
+		if t.Funcs[f].CallCount > 0 {
+			order = append(order, cfg.FuncID(f))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := &t.Funcs[order[i]], &t.Funcs[order[j]]
+		if a.CallCount != b.CallCount {
+			return a.CallCount > b.CallCount
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// runJobs executes fn(0..n-1) over at most workers goroutines,
+// sequentially when workers or n is 1.
+func runJobs(n, workers int, fn func(i int)) {
+	if workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,24 +1,19 @@
-// Streaming I/O for the WPP formats: the raw-file reader that replays
-// a file as trace events through a bounded buffer (never slurping the
-// file), and the writer-based compacted encoder that emits the file
-// without assembling it in memory. Together with wpp.StreamCompactor
-// and core.StreamCompactor these close the bounded-memory ingestion
-// pipeline: raw file -> events -> online compaction -> compacted file.
+// The bounded-memory raw-file reader: replays an uncompacted WPP file
+// as trace events through a bounded buffer, never slurping the file.
+// Together with wpp.StreamCompactor, core.StreamCompactor, and the
+// writer-based encoder in encode.go these close the bounded-memory
+// ingestion pipeline: raw file -> events -> online compaction ->
+// compacted file.
+
 package wppfile
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"math"
-	"runtime"
-	"sort"
-	"sync"
 
 	"twpp/internal/cfg"
-	"twpp/internal/core"
 	"twpp/internal/encoding"
-	"twpp/internal/lzw"
 	"twpp/internal/sequitur"
 	"twpp/internal/trace"
 )
@@ -90,151 +85,4 @@ func (rr *RawStreamReader) ReplayCtx(ctx context.Context, sink trace.EventSink) 
 		}
 	}
 	return d.Close()
-}
-
-// ---------------------------------------------------------------------
-// Writer-based compacted encode.
-// ---------------------------------------------------------------------
-
-// EncodeCompactedTo writes the compacted indexed format to w without
-// materializing the file image: per-function blocks are encoded twice
-// (once to size the index, once to emit) into pooled buffers bounded
-// by the worker count, so peak memory is O(header + workers * largest
-// block) rather than O(file). The bytes written are identical to
-// EncodeCompactedWorkers at any worker count (workers <= 0 selects
-// runtime.GOMAXPROCS(0)). It returns the total byte count written.
-//
-// The double encode is forced by the format: the index, which precedes
-// the blocks, stores each block's offset and length.
-func EncodeCompactedTo(w io.Writer, t *core.TWPP, workers int) (int64, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	order := hotOrder(t)
-
-	// Pass 1: block lengths only, fanned out over the pool.
-	lengths := make([]int, len(order))
-	runJobs(len(order), workers, func(i int) {
-		bp := encodeBufPool.Get().(*[]byte)
-		*bp = encodeFunctionBlock((*bp)[:0], &t.Funcs[order[i]])
-		lengths[i] = len(*bp)
-		encodeBufPool.Put(bp)
-	})
-	index := make([]indexEntry, len(order))
-	off := 0
-	for i, f := range order {
-		index[i] = indexEntry{Fn: f, CallCount: t.Funcs[f].CallCount, Offset: off, Length: lengths[i]}
-		off += lengths[i]
-	}
-
-	dcg := lzw.Compress(encodeDCG(t.Root))
-	head := appendCompactedHeader(nil, t, index, len(dcg))
-	head = append(head, dcg...)
-	var written int64
-	n, err := w.Write(head)
-	written += int64(n)
-	if err != nil {
-		return written, err
-	}
-
-	// Pass 2: re-encode and emit blocks in index order, a
-	// workers-sized batch at a time — encode concurrently, write
-	// sequentially.
-	parts := make([]*[]byte, len(order))
-	for start := 0; start < len(order); start += workers {
-		end := start + workers
-		if end > len(order) {
-			end = len(order)
-		}
-		runJobs(end-start, workers, func(j int) {
-			i := start + j
-			bp := encodeBufPool.Get().(*[]byte)
-			*bp = encodeFunctionBlock((*bp)[:0], &t.Funcs[order[i]])
-			parts[i] = bp
-		})
-		for i := start; i < end; i++ {
-			bp := parts[i]
-			parts[i] = nil
-			if len(*bp) != lengths[i] {
-				encodeBufPool.Put(bp)
-				return written, fmt.Errorf("wppfile: function %d block re-encoded to %d bytes, index says %d",
-					order[i], len(*bp), lengths[i])
-			}
-			n, err := w.Write(*bp)
-			written += int64(n)
-			encodeBufPool.Put(bp)
-			if err != nil {
-				return written, err
-			}
-		}
-	}
-	return written, nil
-}
-
-// hotOrder returns the called functions hottest-first (call count
-// descending, id ascending) — the on-disk block order.
-func hotOrder(t *core.TWPP) []cfg.FuncID {
-	order := make([]cfg.FuncID, 0, len(t.Funcs))
-	for f := range t.Funcs {
-		if t.Funcs[f].CallCount > 0 {
-			order = append(order, cfg.FuncID(f))
-		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := &t.Funcs[order[i]], &t.Funcs[order[j]]
-		if a.CallCount != b.CallCount {
-			return a.CallCount > b.CallCount
-		}
-		return order[i] < order[j]
-	})
-	return order
-}
-
-// appendCompactedHeader appends the header, name table, index, and DCG
-// length prefix — everything that precedes the compressed DCG bytes.
-func appendCompactedHeader(buf []byte, t *core.TWPP, index []indexEntry, dcgLen int) []byte {
-	buf = encoding.PutUint32(buf, MagicCompacted)
-	buf = encoding.PutUvarint(buf, Version)
-	buf = encoding.PutUvarint(buf, uint64(len(t.FuncNames)))
-	for _, n := range t.FuncNames {
-		buf = encoding.PutString(buf, n)
-	}
-	buf = encoding.PutUvarint(buf, uint64(len(index)))
-	for _, e := range index {
-		buf = encoding.PutUvarint(buf, uint64(e.Fn))
-		buf = encoding.PutUvarint(buf, uint64(e.CallCount))
-		buf = encoding.PutUvarint(buf, uint64(e.Offset))
-		buf = encoding.PutUvarint(buf, uint64(e.Length))
-	}
-	return encoding.PutUvarint(buf, uint64(dcgLen))
-}
-
-// runJobs executes fn(0..n-1) over at most workers goroutines,
-// sequentially when workers or n is 1.
-func runJobs(n, workers int, fn func(i int)) {
-	if workers == 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	if workers > n {
-		workers = n
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 }

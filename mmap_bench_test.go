@@ -1,0 +1,124 @@
+package twpp_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"twpp/internal/core"
+	"twpp/internal/storage"
+	"twpp/internal/wpp"
+	"twpp/internal/wppfile"
+)
+
+// mmapBenchBackend is one backend's uncached concurrent-extraction
+// measurement in the BENCH_*_mmap.json snapshot.
+type mmapBenchBackend struct {
+	Backend      string  `json:"backend"`
+	Extractions  int     `json:"extractions"`
+	WallMs       float64 `json:"wall_ms"`
+	ExtractPerS  float64 `json:"extract_per_s"`
+	NsPerExtract float64 `json:"ns_per_extract"`
+}
+
+// mmapBenchReport is the machine-readable file-vs-mmap comparison
+// (BENCH_*_mmap.json trajectory format).
+type mmapBenchReport struct {
+	Goroutines int                `json:"goroutines"`
+	FileBytes  int64              `json:"file_bytes"`
+	Functions  int                `json:"functions"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Backends   []mmapBenchBackend `json:"backends"`
+	// MmapSpeedup is file ns/extract divided by mmap ns/extract:
+	// above 1.0 the mapping wins, below it positioned reads do.
+	MmapSpeedup float64 `json:"mmap_speedup"`
+}
+
+// TestWriteMmapBenchJSON measures uncached concurrent extraction
+// through the file and mmap backends over the same compacted file and
+// writes the comparison to $MMAP_BENCH_OUT (skipped otherwise; driven
+// by `make bench-mmap`).
+func TestWriteMmapBenchJSON(t *testing.T) {
+	out := os.Getenv("MMAP_BENCH_OUT")
+	if out == "" {
+		t.Skip("set MMAP_BENCH_OUT=path to write the mmap benchmark JSON")
+	}
+	const (
+		goroutines   = 8
+		perGoroutine = 2000
+	)
+	w := buildWorkloadScale(t, "126.gcc-like", 0.25)
+	c, _ := wpp.Compact(w)
+	tw := core.FromCompacted(c)
+	path := t.TempDir() + "/t.twpp"
+	if err := wppfile.WriteCompacted(path, tw); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := mmapBenchReport{
+		Goroutines: goroutines,
+		FileBytes:  fi.Size(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, kind := range []storage.Kind{storage.KindFile, storage.KindMmap} {
+		cf, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{Backend: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns := cf.Functions()
+		rep.Functions = len(fns)
+
+		// Warm up once so the first measured pass of either backend
+		// sees the same page-cache state.
+		for _, fn := range fns {
+			if _, err := cf.ExtractFunction(fn); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perGoroutine; i++ {
+					if _, err := cf.ExtractFunction(fns[(g+i)%len(fns)]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		cf.Close()
+
+		n := goroutines * perGoroutine
+		rep.Backends = append(rep.Backends, mmapBenchBackend{
+			Backend:      kind.String(),
+			Extractions:  n,
+			WallMs:       float64(wall.Nanoseconds()) / 1e6,
+			ExtractPerS:  float64(n) / wall.Seconds(),
+			NsPerExtract: float64(wall.Nanoseconds()) / float64(n),
+		})
+	}
+	rep.MmapSpeedup = rep.Backends[0].NsPerExtract / rep.Backends[1].NsPerExtract
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (file %.0f ns/extract, mmap %.0f ns/extract, speedup %.2fx)",
+		out, rep.Backends[0].NsPerExtract, rep.Backends[1].NsPerExtract, rep.MmapSpeedup)
+}

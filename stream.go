@@ -56,7 +56,7 @@ func StreamCompactContext(ctx context.Context, r io.Reader, w io.Writer, opts Co
 		return nil, err
 	}
 	traceB, dictB := tw.SizeStats()
-	n, err := wppfile.EncodeCompactedTo(w, tw, opts.Workers)
+	n, err := wppfile.EncodeCompactedToFormat(w, tw, opts.Workers, opts.Format)
 	if err != nil {
 		return nil, err
 	}

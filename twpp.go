@@ -41,6 +41,7 @@ import (
 	"twpp/internal/interp"
 	"twpp/internal/minilang"
 	"twpp/internal/sequitur"
+	"twpp/internal/storage"
 	"twpp/internal/trace"
 	"twpp/internal/wpp"
 	"twpp/internal/wppfile"
@@ -183,6 +184,12 @@ type CompactOptions struct {
 	// runtime.GOMAXPROCS; 1 runs sequentially. Output is byte-for-byte
 	// independent of the worker count.
 	Workers int
+
+	// Format selects the on-disk container format for WriteFileOpts
+	// and StreamCompact: FormatV2 (sectioned, checksummed; the
+	// default when 0) or FormatV1 (the legacy layout, for consumers
+	// that have not learned v2 yet). In-memory compaction ignores it.
+	Format int
 }
 
 // CompactOpts is Compact with explicit options. The produced TWPP is
@@ -228,10 +235,11 @@ func WriteFile(path string, t *TWPP) error {
 }
 
 // WriteFileOpts is WriteFile with per-function block encoding fanned
-// out over opts.Workers goroutines into pooled buffers. The on-disk
-// bytes are identical for every worker count.
+// out over opts.Workers goroutines into pooled buffers, writing the
+// container format selected by opts.Format. The on-disk bytes are
+// identical for every worker count.
 func WriteFileOpts(path string, t *TWPP, opts CompactOptions) error {
-	return wppfile.WriteCompactedWorkers(path, t, opts.Workers)
+	return wppfile.WriteCompactedFormat(path, t, opts.Workers, opts.Format)
 }
 
 // OpenFile opens a compacted TWPP file with the decode cache disabled,
@@ -241,11 +249,43 @@ func OpenFile(path string) (*File, error) {
 	return wppfile.OpenCompacted(path)
 }
 
-// OpenOptions configures OpenFileOpts: the decode cache size, the
-// decode resource limits (MaxTraceBytes, MaxFuncTraces, MaxSeqValues)
-// enforced against hostile or corrupt inputs, and optional Instrument
-// hooks feeding decode-path events to a metrics layer.
+// OpenOptions configures OpenFileOpts: the storage backend
+// (Backend), eager checksum verification (VerifyChecksums), the
+// decode cache size, the decode resource limits (MaxTraceBytes,
+// MaxFuncTraces, MaxSeqValues) enforced against hostile or corrupt
+// inputs, and optional Instrument hooks feeding decode-path events to
+// a metrics layer.
 type OpenOptions = wppfile.OpenOptions
+
+// BackendKind selects how an opened container's bytes are accessed
+// (OpenOptions.Backend).
+type BackendKind = storage.Kind
+
+// Storage backends for OpenOptions.Backend.
+const (
+	// BackendFile reads through positioned I/O on a file descriptor
+	// (the zero value / default).
+	BackendFile = storage.KindFile
+	// BackendMmap maps the file read-only into memory; extraction
+	// reads become memory copies. Falls back to BackendFile on
+	// platforms without mmap support.
+	BackendMmap = storage.KindMmap
+	// BackendMemory loads the whole file into memory up front.
+	BackendMemory = storage.KindMemory
+)
+
+// Container formats for CompactOptions.Format
+// (File.FormatVersion reports which one an opened file uses).
+const (
+	// FormatV1 is the legacy compacted layout: implicit sections, no
+	// checksums. Still readable; no longer written by default.
+	FormatV1 = wppfile.FormatV1
+	// FormatV2 is the sectioned container with a trailer section
+	// directory and CRC32-C checksums on every section (the default).
+	FormatV2 = wppfile.FormatV2
+	// DefaultFormat is what a zero CompactOptions.Format writes.
+	DefaultFormat = wppfile.DefaultFormat
+)
 
 // Instrument carries optional decode-path callbacks (cache hits, block
 // decodes) for OpenOptions.Instrument; the twpp-serve observability
@@ -283,6 +323,7 @@ const (
 	CodeBadVersion = encoding.CodeBadVersion
 	CodeCorrupt    = encoding.CodeCorrupt
 	CodeLimit      = encoding.CodeLimit
+	CodeChecksum   = encoding.CodeChecksum
 )
 
 // ErrTruncated matches (errors.Is) every truncated-input failure.
