@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap serve-test fuzz-seed ci
+.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap bench-scale bench-scale-short serve-test fuzz-seed ci
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,22 @@ bench-serve:
 	SERVE_BENCH_OUT=$(CURDIR)/BENCH_$(shell date +%Y%m%d)_serve.json \
 		$(GO) test -run TestWriteServeBenchJSON -v ./internal/server/
 
+# Multi-core serving scale-out (BENCH_*_scale.json trajectory format):
+# the full request path swept over GOMAXPROCS 1/4/8 with 4 clients per
+# proc, plus the in-process pooled-extraction sweep. The JSON records
+# num_cpu: on single-core hosts the curve is expectedly flat.
+bench-scale:
+	SCALE_BENCH_OUT=$(CURDIR)/BENCH_$(shell date +%Y%m%d)_scale.json \
+		$(GO) test -run TestWriteScaleBenchJSON -v ./internal/server/
+	$(GO) test -run xxx -bench PooledExtractScale -benchtime 1x .
+
+# CI smoke of the scale sweep: tiny request counts, throwaway output —
+# exercises the GOMAXPROCS axis and the JSON writer without the cost.
+bench-scale-short:
+	SCALE_BENCH_OUT=$(CURDIR)/.bench_scale_ci.json SCALE_BENCH_SHORT=1 \
+		$(GO) test -run TestWriteScaleBenchJSON ./internal/server/
+	@rm -f $(CURDIR)/.bench_scale_ci.json
+
 # Storage-backend comparison (BENCH_*_mmap.json trajectory format):
 # uncached concurrent extraction through positioned file reads vs a
 # read-only memory mapping, same compacted file and workload.
@@ -98,5 +114,6 @@ bench-mmap:
 fuzz-seed:
 	$(GO) test -run 'FuzzParallelCompactDeterminism|FuzzStreamCompactDeterminism' .
 	$(GO) test -run 'FuzzDecodeCompacted|FuzzStreamRoundTrip' ./internal/wppfile/
+	$(GO) test -run 'FuzzUvarintBatchParity' ./internal/encoding/
 
-ci: lint vuln build test race serve-test fuzz-seed cover bench-mem bench-mmap
+ci: lint vuln build test race serve-test fuzz-seed cover bench-mem bench-mmap bench-scale-short

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	twpp-bench [-scale f] [-dir path] [-j workers] [-json out.json] [-table N | -figure N | -all]
+//	twpp-bench [-scale f] [-dir path] [-j workers] [-json out.json]
+//	           [-scale-procs 1,4,8] [-table N | -figure N | -all]
 //
 // With -all (the default) every table (1-6) and figure (8-12) is
 // produced. Tables 4 and 5 involve per-function timing runs and
@@ -18,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"twpp/internal/bench"
 	"twpp/internal/cli"
@@ -34,12 +37,33 @@ func main() {
 		maxFuncs = flag.Int("maxfuncs", 40, "cap on functions measured per benchmark in timing experiments (0 = all)")
 		workers  = flag.Int("j", 0, "compaction worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		jsonOut  = flag.String("json", "", "also write a machine-readable benchmark report to this file")
+		scaleProcs = flag.String("scale-procs", "", "comma-separated GOMAXPROCS points for the extraction scale-out sweep (e.g. 1,4,8)")
 	)
 	flag.Parse()
-	cli.Exit("twpp-bench", run(*scale, *dir, *table, *figure, *maxFuncs, *workers, *jsonOut, *ablation))
+	cli.Exit("twpp-bench", run(*scale, *dir, *table, *figure, *maxFuncs, *workers, *jsonOut, *scaleProcs, *ablation))
 }
 
-func run(scale float64, dir string, table, figure, maxFuncs, workers int, jsonOut string, ablation bool) error {
+// parseProcs parses the -scale-procs list.
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, cli.Usagef("bad -scale-procs entry %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, cli.Usagef("-scale-procs lists no points")
+	}
+	return out, nil
+}
+
+func run(scale float64, dir string, table, figure, maxFuncs, workers int, jsonOut, scaleProcs string, ablation bool) error {
 	out := os.Stdout
 
 	// Figures 9-12 are worked examples independent of the workload
@@ -138,6 +162,28 @@ func run(scale float64, dir string, table, figure, maxFuncs, workers int, jsonOu
 		}
 		bench.Summary(out, results, timings)
 	}
+	var scaleRep *bench.ScaleReport
+	if scaleProcs != "" {
+		procs, err := parseProcs(scaleProcs)
+		if err != nil {
+			return err
+		}
+		// Sweep the hottest profile's compacted file: the scale curve
+		// needs one representative workload, not all five.
+		scaleRep, err = bench.RunExtractScale(results[0].CompPath, procs, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Extraction scale-out (%s):\n", scaleRep.Note)
+		for _, r := range scaleRep.Runs {
+			fmt.Fprintf(out, "  GOMAXPROCS=%-2d %10.0f extracts/s  %8d ns/extract  %.2f allocs/op\n",
+				r.GoMaxProcs, r.OpsPerS, r.NsPerExtract, r.AllocsPerOp)
+		}
+		if sp := scaleRep.Speedup(); sp > 0 {
+			fmt.Fprintf(out, "  speedup %d -> %d procs: %.2fx\n\n",
+				scaleRep.Runs[0].GoMaxProcs, scaleRep.Runs[len(scaleRep.Runs)-1].GoMaxProcs, sp)
+		}
+	}
 	if jsonOut != "" {
 		var mems []*bench.MemoryStats
 		for _, r := range results {
@@ -148,6 +194,7 @@ func run(scale float64, dir string, table, figure, maxFuncs, workers int, jsonOu
 			mems = append(mems, m)
 		}
 		rep := bench.BuildJSONReport(scale, workers, results, timings, mems)
+		rep.ScaleOut = scaleRep
 		if err := rep.WriteJSON(jsonOut); err != nil {
 			return err
 		}

@@ -15,7 +15,7 @@ func TestRunSingleTableTinyScale(t *testing.T) {
 	}
 	dir := t.TempDir()
 	jsonOut := filepath.Join(dir, "bench.json")
-	if err := run(0.02, dir, 1, 0, 2, 2, jsonOut, false); err != nil {
+	if err := run(0.02, dir, 1, 0, 2, 2, jsonOut, "1,2", false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(jsonOut)
@@ -38,14 +38,26 @@ func TestRunSingleTableTinyScale(t *testing.T) {
 				p.Name, p.ExtractAvgNs, p.ExtractSpeedupOverRaw)
 		}
 	}
-	if err := run(0.02, dir, 2, 0, 2, 1, "", false); err != nil {
+	if rep.ScaleOut == nil {
+		t.Error("-scale-procs set but json has no scale_out section")
+	} else {
+		if rep.ScaleOut.NumCPU < 1 || len(rep.ScaleOut.Runs) != 2 {
+			t.Errorf("malformed scale_out: %+v", rep.ScaleOut)
+		}
+		for _, r := range rep.ScaleOut.Runs {
+			if r.OpsPerS <= 0 || r.NsPerExtract <= 0 {
+				t.Errorf("scale_out point GOMAXPROCS=%d has no throughput", r.GoMaxProcs)
+			}
+		}
+	}
+	if err := run(0.02, dir, 2, 0, 2, 1, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFigures(t *testing.T) {
 	for _, f := range []int{9, 10, 11, 12} {
-		if err := run(1, "", 0, f, 1, 1, "", false); err != nil {
+		if err := run(1, "", 0, f, 1, 1, "", "", false); err != nil {
 			t.Errorf("figure %d: %v", f, err)
 		}
 	}

@@ -8,8 +8,9 @@
 // Usage:
 //
 //	twpp-serve -in trace.twpp[,more.twpp...] [-mount name=path,...]
-//	           [-addr :7070] [-cache 64] [-max-inflight 64]
-//	           [-timeout 5s] [-mmap] [-verify] [-quiet]
+//	           [-addr :7070] [-cache 64] [-resp-cache 256]
+//	           [-max-inflight 64] [-timeout 5s] [-mmap] [-verify]
+//	           [-quiet]
 //
 // Endpoints (all GET; select a non-default mount with ?file=name or
 // the /v1/{mount}/... prefix):
@@ -58,6 +59,7 @@ type serveConfig struct {
 	in          string // comma-separated paths, mounted by base name
 	mounts      string // comma-separated name=path pairs
 	cache       int
+	respCache   int
 	maxInflight int
 	timeout     time.Duration
 	mmap        bool
@@ -74,6 +76,7 @@ func main() {
 	flag.StringVar(&c.in, "in", "", "comma-separated compacted TWPP files to mount by base name")
 	flag.StringVar(&c.mounts, "mount", "", "comma-separated name=path mounts (explicit names)")
 	flag.IntVar(&c.cache, "cache", server.DefaultCacheEntries, "decoded-block LRU cache entries per mounted file")
+	flag.IntVar(&c.respCache, "resp-cache", server.DefaultResponseCacheEntries, "rendered-response cache entries (v2 mounts; negative disables)")
 	flag.IntVar(&c.maxInflight, "max-inflight", server.DefaultMaxInFlight, "concurrent query requests before 429")
 	flag.DurationVar(&c.timeout, "timeout", server.DefaultRequestTimeout, "per-request deadline (negative disables)")
 	flag.BoolVar(&c.mmap, "mmap", false, "serve reads from read-only memory mappings")
@@ -94,9 +97,10 @@ func newServer(c serveConfig) (*server.Server, error) {
 		return nil, cli.Usagef("-max-inflight must be >= 1")
 	}
 	opts := server.Options{
-		CacheEntries:   c.cache,
-		MaxInFlight:    c.maxInflight,
-		RequestTimeout: c.timeout,
+		CacheEntries:         c.cache,
+		MaxInFlight:          c.maxInflight,
+		RequestTimeout:       c.timeout,
+		ResponseCacheEntries: c.respCache,
 	}
 	opts.Open.VerifyChecksums = c.verify
 	if c.mmap {

@@ -17,8 +17,11 @@ type JSONReport struct {
 	// Workers is the compaction worker pool size.
 	Workers int `json:"workers"`
 	// GoMaxProcs records the parallelism available to the run.
-	GoMaxProcs int `json:"gomaxprocs"`
+	GoMaxProcs int           `json:"gomaxprocs"`
 	Profiles   []JSONProfile `json:"profiles"`
+	// ScaleOut, when the run swept the GOMAXPROCS axis (-scale-procs),
+	// is the warm pooled-extraction scale-out curve.
+	ScaleOut *ScaleReport `json:"scale_out,omitempty"`
 }
 
 // JSONProfile is one benchmark profile's measurements.

@@ -1,0 +1,180 @@
+// The GOMAXPROCS scale-out harness: measures how warm extraction and
+// serving throughput grow with available parallelism. Reports in this
+// shape (BENCH_*_scale.json) are the multi-core line of the repo's
+// performance trajectory. NumCPU is always recorded: on a single-core
+// host the 1/4/8 curve is honestly flat (oversubscription measures
+// scheduling overhead, not scale-out), and the field lets a reader
+// tell that apart from a scaling regression.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"twpp/internal/cfg"
+	"twpp/internal/wppfile"
+)
+
+// DefaultScaleProcs is the GOMAXPROCS axis the scale harness sweeps.
+var DefaultScaleProcs = []int{1, 4, 8}
+
+// ScaleRun is one GOMAXPROCS point of a scale-out sweep.
+type ScaleRun struct {
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	Workers      int     `json:"workers"`
+	Ops          int     `json:"ops"`
+	WallMs       float64 `json:"wall_ms"`
+	OpsPerS      float64 `json:"ops_per_s"`
+	NsPerExtract int64   `json:"ns_per_extract,omitempty"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	Goroutines   int     `json:"goroutines"`
+
+	// Serving-mode fields (zero in pure-extraction sweeps).
+	P50Us         float64 `json:"p50_us,omitempty"`
+	P99Us         float64 `json:"p99_us,omitempty"`
+	CacheHits     uint64  `json:"cache_hits,omitempty"`
+	RespCacheHits uint64  `json:"respcache_hits,omitempty"`
+}
+
+// ScaleReport is a full sweep: one ScaleRun per GOMAXPROCS point.
+type ScaleReport struct {
+	// Kind is "extract" (pooled in-process extraction) or "serve"
+	// (full HTTP request path).
+	Kind   string     `json:"kind"`
+	NumCPU int        `json:"num_cpu"`
+	Note   string     `json:"note,omitempty"`
+	Runs   []ScaleRun `json:"runs"`
+}
+
+// Speedup is throughput at the last (widest) point over the first
+// (GOMAXPROCS=1) point; zero when the sweep is degenerate.
+func (r *ScaleReport) Speedup() float64 {
+	if len(r.Runs) < 2 || r.Runs[0].OpsPerS == 0 {
+		return 0
+	}
+	return r.Runs[len(r.Runs)-1].OpsPerS / r.Runs[0].OpsPerS
+}
+
+// WriteJSON writes the report to path, indented for diffability.
+func (r *ScaleReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ScaleNote describes the host's parallelism budget for a report; the
+// single-core caveat is spelled out so flat curves read as what they
+// are.
+func ScaleNote() string {
+	n := runtime.NumCPU()
+	if n == 1 {
+		return "single-CPU host: GOMAXPROCS > 1 oversubscribes one core, so the curve is expected to be flat"
+	}
+	return fmt.Sprintf("%d CPUs available", n)
+}
+
+// RunExtractScale sweeps warm pooled extraction (ExtractFunctionInto,
+// decode cache off) over the GOMAXPROCS axis: at each point, procs
+// workers each extract every function of the compacted file at path
+// for iters rounds through a private ExtractBuffer. The warm-up round
+// runs outside the timed window, so the measured region is the
+// steady-state zero-allocation path.
+func RunExtractScale(path string, procs []int, iters int) (*ScaleReport, error) {
+	if len(procs) == 0 {
+		procs = DefaultScaleProcs
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	cf, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer cf.Close()
+	fns := cf.Functions()
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("bench: no functions in %s", path)
+	}
+
+	rep := &ScaleReport{Kind: "extract", NumCPU: runtime.NumCPU(), Note: ScaleNote()}
+	for _, p := range procs {
+		old := runtime.GOMAXPROCS(p)
+		run, err := extractScalePoint(cf, fns, p, iters)
+		runtime.GOMAXPROCS(old)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, *run)
+	}
+	return rep, nil
+}
+
+// extractScalePoint measures one GOMAXPROCS point: p workers, each
+// doing iters passes over every function with its own pooled buffer.
+func extractScalePoint(cf *wppfile.CompactedFile, fns []cfg.FuncID, p, iters int) (*ScaleRun, error) {
+	// Warm each worker's buffer (grows arenas and dictionary maps to
+	// the corpus's largest shapes) outside the timed window.
+	bufs := make([]*wppfile.ExtractBuffer, p)
+	for i := range bufs {
+		bufs[i] = wppfile.GetExtractBuffer()
+		for _, fn := range fns {
+			if _, err := cf.ExtractFunctionInto(fn, bufs[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	defer func() {
+		for _, b := range bufs {
+			wppfile.PutExtractBuffer(b)
+		}
+	}()
+
+	ops := p * iters * len(fns)
+	var wg sync.WaitGroup
+	errs := make(chan error, p)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	goroutines := runtime.NumGoroutine() + p
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := bufs[w]
+			for it := 0; it < iters; it++ {
+				for _, fn := range fns {
+					if _, err := cf.ExtractFunctionInto(fn, buf); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+
+	return &ScaleRun{
+		GoMaxProcs:   p,
+		Workers:      p,
+		Ops:          ops,
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		OpsPerS:      float64(ops) / wall.Seconds(),
+		NsPerExtract: wall.Nanoseconds() / int64(ops),
+		AllocsPerOp:  float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		Goroutines:   goroutines,
+	}, nil
+}

@@ -265,14 +265,25 @@ func (s Seq) EncodeSigned(dst []int64) []int64 {
 // entry is one to three values, terminated by its single negative
 // value.
 func DecodeSigned(vals []int64) (Seq, error) {
-	var out Seq
-	var pend []int64
+	return DecodeSignedAppend(nil, vals)
+}
+
+// DecodeSignedAppend is DecodeSigned appending the decoded entries to
+// dst, which may be pre-allocated (or carved from an arena) to make
+// the decode allocation-free: a stream of n values decodes to at most
+// n entries, so a dst with n spare capacity never grows. It performs
+// no allocations of its own beyond growing dst.
+func DecodeSignedAppend(dst Seq, vals []int64) (Seq, error) {
+	out := dst
+	var pend [2]int64
+	np := 0
 	for i, v := range vals {
 		if v > 0 {
-			pend = append(pend, v)
-			if len(pend) > 2 {
+			if np == 2 {
 				return nil, corruptf("core: entry with more than 3 values at position %d", i)
 			}
+			pend[np] = v
+			np++
 			continue
 		}
 		if v == 0 {
@@ -285,7 +296,7 @@ func DecodeSigned(vals []int64) (Seq, error) {
 			return nil, corruptf("core: value %d at position %d out of range", v, i)
 		}
 		var e Entry
-		switch len(pend) {
+		switch np {
 		case 0:
 			e = Entry{Lo: last, Hi: last, Step: 1}
 		case 1:
@@ -297,10 +308,10 @@ func DecodeSigned(vals []int64) (Seq, error) {
 			return nil, corruptf("core: malformed entry %s at position %d", e, i)
 		}
 		out = append(out, e)
-		pend = pend[:0]
+		np = 0
 	}
-	if len(pend) != 0 {
-		return nil, corruptf("core: %d dangling values at end of stream", len(pend))
+	if np != 0 {
+		return nil, corruptf("core: %d dangling values at end of stream", np)
 	}
 	return out, nil
 }

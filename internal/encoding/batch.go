@@ -1,0 +1,149 @@
+// Batched varint decoding: decode a whole sequence of varints into a
+// caller-provided slice in one pass instead of one call per value.
+//
+// The hot loops of the compacted decoder read runs of thousands of
+// varints whose common case by far is the single-byte encoding. The
+// batch decoders exploit that: each iteration bounds-checks one window
+// of the input and then consumes a run of single-byte values from it
+// with no per-value function call, falling back to the general decoder
+// only for multi-byte (or malformed) values.
+//
+// Error parity: a batch decode fails with exactly the error the
+// per-value loop would have produced — same sentinel, same structured
+// code, same offset (the first byte of the failing value) — so callers
+// can switch between the two paths without changing their error
+// surface. This property is asserted exhaustively by the parity tests
+// and the fuzz target.
+
+package encoding
+
+// UvarintBatch decodes exactly len(dst) unsigned LEB128 varints from
+// the front of src into dst. It returns the number of bytes consumed.
+// On error, the returned count is the offset of the first byte of the
+// value that failed to decode, and dst's contents past the values
+// already decoded are unspecified.
+func UvarintBatch(src []byte, dst []uint64) (int, error) {
+	pos := 0
+	for i := 0; i < len(dst); {
+		// Fast path: one bounds check for the window, then a run of
+		// single-byte values.
+		win := src[pos:]
+		max := len(dst) - i
+		if max > len(win) {
+			max = len(win)
+		}
+		j := 0
+		for j < max && win[j] < 0x80 {
+			dst[i] = uint64(win[j])
+			i++
+			j++
+		}
+		pos += j
+		if i == len(dst) {
+			break
+		}
+		// Slow path: one multi-byte (or truncated/overflowing) value.
+		v, n, err := Uvarint(src[pos:])
+		if err != nil {
+			return pos, err
+		}
+		dst[i] = v
+		pos += n
+		i++
+	}
+	return pos, nil
+}
+
+// VarintBatch decodes exactly len(dst) zigzag-encoded signed varints
+// from the front of src into dst, with the same contract as
+// UvarintBatch.
+func VarintBatch(src []byte, dst []int64) (int, error) {
+	pos := 0
+	for i := 0; i < len(dst); {
+		win := src[pos:]
+		max := len(dst) - i
+		if max > len(win) {
+			max = len(win)
+		}
+		j := 0
+		for j < max && win[j] < 0x80 {
+			dst[i] = UnZigZag(uint64(win[j]))
+			i++
+			j++
+		}
+		pos += j
+		if i == len(dst) {
+			break
+		}
+		v, n, err := Varint(src[pos:])
+		if err != nil {
+			return pos, err
+		}
+		dst[i] = v
+		pos += n
+		i++
+	}
+	return pos, nil
+}
+
+// UvarintBatch reads len(dst) unsigned varints. On error the cursor is
+// left positioned at the first byte of the failing value — exactly
+// where a per-value Uvarint loop would have stopped — and the error
+// carries that offset.
+func (c *Cursor) UvarintBatch(dst []uint64) error {
+	n, err := UvarintBatch(c.buf[c.pos:], dst)
+	c.pos += n
+	if err != nil {
+		return cursorErr(err, c.pos)
+	}
+	return nil
+}
+
+// VarintBatch reads len(dst) zigzag-encoded signed varints with the
+// same contract as UvarintBatch.
+func (c *Cursor) VarintBatch(dst []int64) error {
+	n, err := VarintBatch(c.buf[c.pos:], dst)
+	c.pos += n
+	if err != nil {
+		return cursorErr(err, c.pos)
+	}
+	return nil
+}
+
+// UvarintBatchBuffered decodes as many unsigned varints as fit in both
+// dst and the cursor's currently buffered bytes, without touching the
+// underlying reader. It returns the number of values decoded; when
+// offs is non-nil, offs[k] is set to the stream offset of value k's
+// first byte. A value whose encoding is incomplete or malformed within
+// the buffered window is left for the caller's per-value path (which
+// reports the error with full parity), so this method never fails.
+func (c *StreamCursor) UvarintBatchBuffered(dst []uint64, offs []int) int {
+	buffered := c.r.Buffered()
+	if buffered == 0 {
+		return 0
+	}
+	win, err := c.r.Peek(buffered)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	pos := 0
+	for n < len(dst) {
+		v, w, err := Uvarint(win[pos:])
+		if err != nil {
+			break
+		}
+		if offs != nil {
+			offs[n] = c.pos + pos
+		}
+		dst[n] = v
+		n++
+		pos += w
+	}
+	if pos > 0 {
+		// Discard of buffered bytes cannot fail.
+		c.r.Discard(pos)
+		c.pos += pos
+	}
+	return n
+}

@@ -1,0 +1,315 @@
+package encoding
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// mixedUvarints builds a stream mixing 1-byte values (the fast path)
+// with multi-byte ones, returning the encoded bytes and the values.
+func mixedUvarints(r *rand.Rand, n int) ([]byte, []uint64) {
+	var buf []byte
+	vals := make([]uint64, n)
+	for i := range vals {
+		var v uint64
+		switch r.Intn(4) {
+		case 0, 1:
+			v = uint64(r.Intn(0x80)) // single byte
+		case 2:
+			v = uint64(r.Intn(1 << 20))
+		default:
+			v = r.Uint64()
+		}
+		vals[i] = v
+		buf = PutUvarint(buf, v)
+	}
+	return buf, vals
+}
+
+// perValueUvarints is the reference decoder: the historical
+// one-call-per-value cursor loop.
+func perValueUvarints(c *Cursor, dst []uint64) error {
+	for i := range dst {
+		v, err := c.Uvarint()
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+func perValueVarints(c *Cursor, dst []int64) error {
+	for i := range dst {
+		v, err := c.Varint()
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+// errString renders an error for parity comparison; nil becomes "".
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// checkBatchParity decodes n uvarints from buf both ways and fails the
+// test on any divergence in values, final cursor position, or error
+// (message, structured code, and offset).
+func checkBatchParity(t *testing.T, buf []byte, n int) {
+	t.Helper()
+	ref := make([]uint64, n)
+	refCur := NewCursor(buf)
+	refErr := perValueUvarints(refCur, ref)
+
+	got := make([]uint64, n)
+	gotCur := NewCursor(buf)
+	gotErr := gotCur.UvarintBatch(got)
+
+	if errString(refErr) != errString(gotErr) {
+		t.Fatalf("error divergence on %x (n=%d):\n  per-value: %v\n  batch:     %v", buf, n, refErr, gotErr)
+	}
+	if refErr != nil {
+		var re, ge *Error
+		if errors.As(refErr, &re) != errors.As(gotErr, &ge) || (re != nil && (re.Code != ge.Code || re.Offset != ge.Offset)) {
+			t.Fatalf("structured error divergence on %x: %#v vs %#v", buf, refErr, gotErr)
+		}
+		if refCur.Pos() != gotCur.Pos() {
+			t.Fatalf("error cursor position divergence on %x: per-value %d, batch %d", buf, refCur.Pos(), gotCur.Pos())
+		}
+		return
+	}
+	if refCur.Pos() != gotCur.Pos() {
+		t.Fatalf("cursor position divergence on %x: per-value %d, batch %d", buf, refCur.Pos(), gotCur.Pos())
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("value divergence at %d on %x: %d vs %d", i, buf, ref[i], got[i])
+		}
+	}
+}
+
+func TestUvarintBatchParity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		buf, vals := mixedUvarints(r, 1+r.Intn(200))
+		checkBatchParity(t, buf, len(vals))
+	}
+}
+
+// TestUvarintBatchParityCorrupted sweeps every truncation point and
+// every single-byte bit flip of encoded streams, asserting the batch
+// decoder fails exactly like the per-value loop: same structured code
+// at the same offset.
+func TestUvarintBatchParityCorrupted(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		buf, vals := mixedUvarints(r, 1+r.Intn(40))
+		n := len(vals)
+		for cut := 0; cut < len(buf); cut++ {
+			checkBatchParity(t, buf[:cut], n)
+		}
+		for pos := 0; pos < len(buf); pos++ {
+			for bit := 0; bit < 8; bit++ {
+				mut := bytes.Clone(buf)
+				mut[pos] ^= 1 << bit
+				checkBatchParity(t, mut, n)
+			}
+		}
+	}
+}
+
+// TestUvarintBatchOverflow pins the overflow cases: an 11-byte varint
+// and a 10-byte varint whose final byte exceeds 1.
+func TestUvarintBatchOverflow(t *testing.T) {
+	over1 := bytes.Repeat([]byte{0x80}, 10)
+	over1 = append(over1, 0x02) // 11 bytes
+	over2 := bytes.Repeat([]byte{0x80}, 9)
+	over2 = append(over2, 0x02) // 10 bytes, top byte > 1
+	for _, src := range [][]byte{over1, over2} {
+		// Lead with a good value so the failure offset is non-zero.
+		buf := PutUvarint(nil, 5)
+		buf = append(buf, src...)
+		checkBatchParity(t, buf, 2)
+	}
+}
+
+func TestVarintBatchParity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(100)
+		var buf []byte
+		vals := make([]int64, n)
+		for i := range vals {
+			v := int64(r.Uint64())
+			if r.Intn(2) == 0 {
+				v = int64(r.Intn(128)) - 64
+			}
+			vals[i] = v
+			buf = PutVarint(buf, v)
+		}
+
+		ref := make([]int64, n)
+		refCur := NewCursor(buf)
+		if err := perValueVarints(refCur, ref); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int64, n)
+		gotCur := NewCursor(buf)
+		if err := gotCur.VarintBatch(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("value divergence at %d: %d vs %d", i, ref[i], got[i])
+			}
+		}
+		if refCur.Pos() != gotCur.Pos() {
+			t.Fatalf("position divergence: %d vs %d", refCur.Pos(), gotCur.Pos())
+		}
+		// Truncation sweep for the signed path too.
+		for cut := 0; cut < len(buf); cut += 1 + cut/7 {
+			rc := NewCursor(buf[:cut])
+			re := perValueVarints(rc, make([]int64, n))
+			gc := NewCursor(buf[:cut])
+			ge := gc.VarintBatch(make([]int64, n))
+			if errString(re) != errString(ge) {
+				t.Fatalf("truncated error divergence at cut %d: %v vs %v", cut, re, ge)
+			}
+		}
+	}
+}
+
+// TestStreamUvarintBatchBuffered drives the buffered batch decoder the
+// way RawStreamReader does — batch from the window, per-value at the
+// edges — with a tiny bufio buffer so varints straddle the window
+// constantly, and checks values and offsets against the per-value
+// stream decode.
+func TestStreamUvarintBatchBuffered(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	buf, vals := mixedUvarints(r, 500)
+
+	// Reference: per-value offsets.
+	refOffs := make([]int, len(vals))
+	{
+		sc := NewStreamCursor(bytes.NewReader(buf), int64(len(buf)))
+		for i := range vals {
+			refOffs[i] = sc.Pos()
+			v, err := sc.Uvarint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != vals[i] {
+				t.Fatalf("reference decode diverged at %d", i)
+			}
+		}
+	}
+
+	for _, bufSize := range []int{16, 64, 4096} {
+		sc := NewStreamCursor(bufio.NewReaderSize(bytes.NewReader(buf), bufSize), int64(len(buf)))
+		var got []uint64
+		var offs []int
+		var batch [32]uint64
+		var boffs [32]int
+		for !sc.Done() {
+			k := sc.UvarintBatchBuffered(batch[:], boffs[:])
+			if k == 0 {
+				at := sc.Pos()
+				v, err := sc.Uvarint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, v)
+				offs = append(offs, at)
+				continue
+			}
+			got = append(got, batch[:k]...)
+			offs = append(offs, boffs[:k]...)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("bufSize %d: decoded %d values, want %d", bufSize, len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] || offs[i] != refOffs[i] {
+				t.Fatalf("bufSize %d: divergence at %d: value %d@%d, want %d@%d",
+					bufSize, i, got[i], offs[i], vals[i], refOffs[i])
+			}
+		}
+	}
+}
+
+// TestStreamBatchTruncatedTail: the batch decoder must leave an
+// incomplete trailing varint to the per-value path, which reports the
+// same truncation the pure per-value loop does.
+func TestStreamBatchTruncatedTail(t *testing.T) {
+	buf := PutUvarint(nil, 7)
+	buf = PutUvarint(buf, 300)
+	buf = append(buf, 0x80) // dangling continuation byte
+
+	perValue := func() error {
+		sc := NewStreamCursor(bytes.NewReader(buf), int64(len(buf)))
+		for !sc.Done() {
+			if _, err := sc.Uvarint(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	hybrid := func() error {
+		sc := NewStreamCursor(bytes.NewReader(buf), int64(len(buf)))
+		var batch [8]uint64
+		for !sc.Done() {
+			if k := sc.UvarintBatchBuffered(batch[:], nil); k == 0 {
+				if _, err := sc.Uvarint(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	pe, he := perValue(), hybrid()
+	if pe == nil || he == nil || pe.Error() != he.Error() {
+		t.Fatalf("truncation parity: per-value %v, hybrid %v", pe, he)
+	}
+}
+
+// FuzzUvarintBatchParity feeds arbitrary bytes to both decoders and
+// requires identical outcomes — the regression net for the fast path.
+func FuzzUvarintBatchParity(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03}, uint8(3))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, uint8(1))
+	f.Add(bytes.Repeat([]byte{0x80}, 12), uint8(1))
+	f.Add(PutUvarint(PutUvarint(nil, 1<<40), 0x7f), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, n uint8) {
+		count := int(n)%64 + 1
+		ref := make([]uint64, count)
+		refCur := NewCursor(data)
+		refErr := perValueUvarints(refCur, ref)
+
+		got := make([]uint64, count)
+		gotCur := NewCursor(data)
+		gotErr := gotCur.UvarintBatch(got)
+
+		if errString(refErr) != errString(gotErr) {
+			t.Fatalf("error divergence: %v vs %v", refErr, gotErr)
+		}
+		if refCur.Pos() != gotCur.Pos() {
+			t.Fatalf("position divergence: %d vs %d", refCur.Pos(), gotCur.Pos())
+		}
+		if refErr == nil {
+			for i := range ref {
+				if ref[i] != got[i] {
+					t.Fatalf("value divergence at %d", i)
+				}
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ package lzw
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 const (
@@ -140,39 +141,61 @@ func Decompress(src []byte) ([]byte, error) {
 // hostile stream (LZW expands up to ~65000x) can force. max <= 0
 // disables the cap.
 func DecompressLimit(src []byte, max int) ([]byte, error) {
-	r := &bitReader{in: src}
-	var out []byte
+	return AppendDecompress(nil, src, max)
+}
 
-	// prefix[c] and suffix[c] describe dynamically assigned codes:
-	// code c expands to the expansion of prefix[c] followed by suffix[c].
-	var prefix [1 << maxWidth]uint32
-	var suffix [1 << maxWidth]byte
-	var expandBuf [1 << maxWidth]byte
+// decodeTables is the decoder's working state: prefix[c] and suffix[c]
+// describe dynamically assigned codes (code c expands to the expansion
+// of prefix[c] followed by suffix[c]); expandBuf is the scratch the
+// expansions are built in. At ~384 KiB it dominates the decoder's
+// allocation cost, so instances are pooled across calls.
+type decodeTables struct {
+	prefix    [1 << maxWidth]uint32
+	suffix    [1 << maxWidth]byte
+	expandBuf [1 << maxWidth]byte
+}
+
+// expansion builds the byte expansion of code right-aligned in
+// expandBuf and returns it as a sub-slice. next bounds the codes the
+// dictionary has assigned so far.
+func (t *decodeTables) expansion(code, next uint32) ([]byte, error) {
+	n := len(t.expandBuf)
+	for code >= firstCode {
+		if code >= next {
+			return nil, fmt.Errorf("%w: code %d out of range (next=%d)", ErrCorrupt, code, next)
+		}
+		n--
+		t.expandBuf[n] = t.suffix[code]
+		code = t.prefix[code]
+	}
+	if code >= literalCodes {
+		return nil, fmt.Errorf("%w: expansion reaches reserved code %d", ErrCorrupt, code)
+	}
+	n--
+	t.expandBuf[n] = byte(code)
+	return t.expandBuf[n:], nil
+}
+
+var tablePool = sync.Pool{New: func() any { return new(decodeTables) }}
+
+// AppendDecompress is DecompressLimit appending the decompressed bytes
+// to dst (which may be nil, or a recycled buffer truncated to zero
+// length) and returning the extended slice. The size cap applies to
+// the appended bytes, not dst's prior contents. The decoder's working
+// tables are pooled, so a decompress into a dst with sufficient spare
+// capacity performs no allocations.
+func AppendDecompress(dst, src []byte, max int) ([]byte, error) {
+	r := &bitReader{in: src}
+	out := dst
+	base := len(dst)
+
+	t := tablePool.Get().(*decodeTables)
+	defer tablePool.Put(t)
 
 	next := uint32(firstCode)
 	width := uint(minWidth)
 	const noPrev = uint32(1 << 30)
 	prev := noPrev
-
-	// expansion builds the byte expansion of code right-aligned in
-	// expandBuf and returns it as a sub-slice.
-	expansion := func(code uint32) ([]byte, error) {
-		n := len(expandBuf)
-		for code >= firstCode {
-			if code >= next {
-				return nil, fmt.Errorf("%w: code %d out of range (next=%d)", ErrCorrupt, code, next)
-			}
-			n--
-			expandBuf[n] = suffix[code]
-			code = prefix[code]
-		}
-		if code >= literalCodes {
-			return nil, fmt.Errorf("%w: expansion reaches reserved code %d", ErrCorrupt, code)
-		}
-		n--
-		expandBuf[n] = byte(code)
-		return expandBuf[n:], nil
-	}
 
 	for {
 		code, err := r.read(width)
@@ -195,7 +218,7 @@ func DecompressLimit(src []byte, max int) ([]byte, error) {
 		if code == next {
 			// The KwKwK case: the code being defined by this very step.
 			// Its expansion is expansion(prev) + first byte of same.
-			pexp, err := expansion(prev)
+			pexp, err := t.expansion(prev, next)
 			if err != nil {
 				return nil, err
 			}
@@ -203,19 +226,19 @@ func DecompressLimit(src []byte, max int) ([]byte, error) {
 			out = append(out, pexp[0])
 			exp = out[len(out)-len(pexp)-1:]
 		} else {
-			exp, err = expansion(code)
+			exp, err = t.expansion(code, next)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, exp...)
 		}
-		if max > 0 && len(out) > max {
+		if max > 0 && len(out)-base > max {
 			return nil, fmt.Errorf("%w: decompressed output exceeds %d bytes", ErrCorrupt, max)
 		}
 
 		if prev != noPrev && next < 1<<maxWidth {
-			prefix[next] = prev
-			suffix[next] = exp[0]
+			t.prefix[next] = prev
+			t.suffix[next] = exp[0]
 			next++
 			// The decoder's dictionary lags the encoder's by exactly one
 			// entry (the entry for the code just read is created by the

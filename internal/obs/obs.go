@@ -167,6 +167,29 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.funcs[name] = fn
 }
 
+// Names lists every registered metric name (counters, gauges, gauge
+// funcs, histograms), sorted and deduplicated — the regression hook
+// that lets tests assert every registered series actually renders in
+// the exposition output.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	seen := make(map[string]bool, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.funcs))
+	for k := range r.counters {
+		seen[k] = true
+	}
+	for k := range r.gauges {
+		seen[k] = true
+	}
+	for k := range r.hists {
+		seen[k] = true
+	}
+	for k := range r.funcs {
+		seen[k] = true
+	}
+	r.mu.Unlock()
+	return sortedKeys(seen)
+}
+
 // WritePrometheus renders every metric in the Prometheus text
 // exposition format, sorted by name so the output is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {

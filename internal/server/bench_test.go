@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"twpp/internal/bench"
 	"twpp/internal/server"
 	"twpp/internal/testkit"
 )
@@ -46,6 +47,21 @@ func BenchmarkServeExtract(b *testing.B) {
 	b.ReportMetric(float64(reg.Counter("twpp_cache_hits_total").Value())/float64(b.N), "hits/op")
 }
 
+// withGOMAXPROCS raises GOMAXPROCS to at least n for the duration of a
+// test (restored on cleanup). The serving benchmarks and soaks must
+// run at GOMAXPROCS > 1 even on small CI hosts so the concurrent
+// serving path — shard contention, semaphore, response cache — is
+// actually exercised in parallel.
+func withGOMAXPROCS(t testing.TB, n int) int {
+	cur := runtime.GOMAXPROCS(0)
+	if n > cur {
+		runtime.GOMAXPROCS(n)
+		t.Cleanup(func() { runtime.GOMAXPROCS(cur) })
+		return n
+	}
+	return cur
+}
+
 // serveBenchReport is the shape of BENCH_*_serve.json: the serving
 // layer's line in the repo's performance trajectory.
 type serveBenchReport struct {
@@ -63,6 +79,7 @@ type serveBenchReport struct {
 	Resp4xx     uint64  `json:"responses_4xx"`
 	Resp5xx     uint64  `json:"responses_5xx"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
+	Goroutines  int     `json:"goroutines"`
 }
 
 // TestWriteServeBenchJSON runs the 16-client mixed workload over a
@@ -77,6 +94,7 @@ func TestWriteServeBenchJSON(t *testing.T) {
 		clients   = 16
 		perClient = 250
 	)
+	withGOMAXPROCS(t, 4)
 	path, _ := writeCorpusFile(t, testkit.Config{Seed: 74, Shape: testkit.Regular, Funcs: 8, Calls: 300})
 	paths := goodPaths(t, path)
 	srv := server.New(server.Options{CacheEntries: 16, MaxInFlight: 64})
@@ -112,6 +130,7 @@ func TestWriteServeBenchJSON(t *testing.T) {
 			}
 		}(c)
 	}
+	goroutines := runtime.NumGoroutine()
 	wg.Wait()
 	wall := time.Since(start)
 
@@ -140,6 +159,7 @@ func TestWriteServeBenchJSON(t *testing.T) {
 		Resp4xx:     reg.Counter("twpp_responses_4xx_total").Value(),
 		Resp5xx:     reg.Counter("twpp_responses_5xx_total").Value(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Goroutines:  goroutines,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -149,4 +169,111 @@ func TestWriteServeBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s: %.0f req/s, p50 %.0fus, p99 %.0fus", out, rep.ReqPerS, rep.P50Us, rep.P99Us)
+}
+
+// TestWriteScaleBenchJSON sweeps the full serving path over the
+// GOMAXPROCS 1/4/8 axis and writes the scale-out curve to
+// $SCALE_BENCH_OUT (skipped otherwise; driven by `make bench-scale`).
+// SCALE_BENCH_SHORT=1 shrinks the workload for the CI smoke. The
+// report always records num_cpu: on a single-core host the curve is
+// honestly flat — oversubscribing one core measures scheduling
+// overhead, not scale-out — and the field makes that readable.
+func TestWriteScaleBenchJSON(t *testing.T) {
+	out := os.Getenv("SCALE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set SCALE_BENCH_OUT=path to write the scale benchmark JSON")
+	}
+	perClient := 150
+	if os.Getenv("SCALE_BENCH_SHORT") != "" {
+		perClient = 25
+	}
+	path, _ := writeCorpusFile(t, testkit.Config{Seed: 75, Shape: testkit.Regular, Funcs: 8, Calls: 300})
+	srv := server.New(server.Options{CacheEntries: 64, MaxInFlight: 128})
+	if err := srv.Mount("scale", path); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	paths := goodPaths(t, path)
+	h := srv.Handler()
+
+	// Warm both caches before the first point so every point measures
+	// the same steady serving state.
+	for _, p := range paths {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, p, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("warmup GET %s: status %d", p, rec.Code)
+		}
+	}
+
+	reg := srv.Registry()
+	rep := &bench.ScaleReport{Kind: "serve", NumCPU: runtime.NumCPU(), Note: bench.ScaleNote()}
+	for _, procs := range bench.DefaultScaleProcs {
+		old := runtime.GOMAXPROCS(procs)
+		clients := 4 * procs
+		total := clients * perClient
+		lat := make([][]time.Duration, clients)
+		cacheHits0 := reg.Counter("twpp_cache_hits_total").Value()
+		respHits0 := reg.Counter("twpp_respcache_hits_total").Value()
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				lat[c] = make([]time.Duration, 0, perClient)
+				for i := 0; i < perClient; i++ {
+					p := paths[(c+i)%len(paths)]
+					reqStart := time.Now()
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, p, nil))
+					if rec.Code != http.StatusOK {
+						t.Errorf("GET %s: status %d", p, rec.Code)
+						return
+					}
+					lat[c] = append(lat[c], time.Since(reqStart))
+				}
+			}(c)
+		}
+		goroutines := runtime.NumGoroutine()
+		wg.Wait()
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		runtime.GOMAXPROCS(old)
+
+		var all []time.Duration
+		for _, l := range lat {
+			all = append(all, l...)
+		}
+		if len(all) != total {
+			t.Fatalf("GOMAXPROCS=%d: %d/%d requests succeeded", procs, len(all), total)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+		rep.Runs = append(rep.Runs, bench.ScaleRun{
+			GoMaxProcs:    procs,
+			Workers:       clients,
+			Ops:           total,
+			WallMs:        float64(wall.Nanoseconds()) / 1e6,
+			OpsPerS:       float64(total) / wall.Seconds(),
+			AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(total),
+			Goroutines:    goroutines,
+			P50Us:         us(all[len(all)/2]),
+			P99Us:         us(all[len(all)*99/100]),
+			CacheHits:     reg.Counter("twpp_cache_hits_total").Value() - cacheHits0,
+			RespCacheHits: reg.Counter("twpp_respcache_hits_total").Value() - respHits0,
+		})
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Runs {
+		t.Logf("GOMAXPROCS=%d: %.0f req/s, p50 %.0fus, p99 %.0fus, %.1f allocs/req, %d goroutines",
+			r.GoMaxProcs, r.OpsPerS, r.P50Us, r.P99Us, r.AllocsPerOp, r.Goroutines)
+	}
+	t.Logf("wrote %s (num_cpu=%d, speedup 1->%d: %.2fx)",
+		out, rep.NumCPU, rep.Runs[len(rep.Runs)-1].GoMaxProcs, rep.Speedup())
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -54,12 +55,19 @@ type Mount struct {
 	name string
 	path string
 	file *wppfile.CompactedFile
+	// etag is the strong HTTP entity tag derived from the file's
+	// content hash (the v2 trailer checksums); empty for v1 containers,
+	// which have no checksums to derive one from.
+	etag string
 
 	mRequests    *obs.Counter
 	mErrors      *obs.Counter
 	mCacheHits   *obs.Counter
 	mCacheMisses *obs.Counter
 	mDecodeBytes *obs.Counter
+	mRespHits    *obs.Counter
+	mRespMisses  *obs.Counter
+	mResp304     *obs.Counter
 }
 
 // Name returns the mount's name.
@@ -70,6 +78,10 @@ func (m *Mount) Path() string { return m.path }
 
 // File returns the mount's opened compacted file.
 func (m *Mount) File() *wppfile.CompactedFile { return m.file }
+
+// ETag returns the mount's entity tag, or "" for containers without a
+// content hash (v1).
+func (m *Mount) ETag() string { return m.etag }
 
 // NewCatalog builds an empty catalog.
 func NewCatalog(opts CatalogOptions) *Catalog {
@@ -121,6 +133,9 @@ func (c *Catalog) Mount(name, path string) error {
 		m.mCacheHits = c.reg.Counter("twpp_mount_" + mn + "_cache_hits_total")
 		m.mCacheMisses = c.reg.Counter("twpp_mount_" + mn + "_cache_misses_total")
 		m.mDecodeBytes = c.reg.Counter("twpp_mount_" + mn + "_decode_bytes_total")
+		m.mRespHits = c.reg.Counter("twpp_mount_" + mn + "_respcache_hits_total")
+		m.mRespMisses = c.reg.Counter("twpp_mount_" + mn + "_respcache_misses_total")
+		m.mResp304 = c.reg.Counter("twpp_mount_" + mn + "_respcache_304_total")
 	}
 	o := c.open
 	o.CacheEntries = c.cacheEntries
@@ -149,6 +164,30 @@ func (c *Catalog) Mount(name, path string) error {
 		return err
 	}
 	m.file = f
+	if hash, ok := f.ContentHash(); ok {
+		m.etag = `"` + strconv.FormatUint(hash, 16) + `"`
+	}
+	// Per-mount decode-cache shard visibility: one hits/misses gauge
+	// pair per shard, read from the cache's shard-local counters at
+	// scrape time.
+	if c.reg != nil {
+		mn := metricName(name)
+		for i := range f.CacheShardStats() {
+			i := i
+			c.reg.GaugeFunc(fmt.Sprintf("twpp_mount_%s_cache_shard%d_hits", mn, i), func() float64 {
+				if st := f.CacheShardStats(); i < len(st) {
+					return float64(st[i].Hits)
+				}
+				return 0
+			})
+			c.reg.GaugeFunc(fmt.Sprintf("twpp_mount_%s_cache_shard%d_misses", mn, i), func() float64 {
+				if st := f.CacheShardStats(); i < len(st) {
+					return float64(st[i].Misses)
+				}
+				return 0
+			})
+		}
+	}
 	c.mounts[name] = m
 	c.order = append(c.order, name)
 	return nil

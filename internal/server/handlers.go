@@ -139,11 +139,15 @@ func writeJSONError(w http.ResponseWriter, status int, code, msg string) {
 	w.Write(append(data, '\n'))
 }
 
-// mountRefKey/mountRef pass the resolved mount back to the limited()
-// wrapper for per-mount request accounting.
+// mountRefKey/mountRef pass the resolved mount — and any non-200
+// success status a wrapper wrote directly (the 304 revalidation path)
+// — back to the limited() wrapper for accounting.
 type mountRefKey struct{}
 
-type mountRef struct{ m *Mount }
+type mountRef struct {
+	m      *Mount
+	status int
+}
 
 // resolveMount picks the mount addressed by the request: the
 // /v1/{mount}/... path segment when present, else ?file=, else the

@@ -81,6 +81,7 @@ func TestLoadSoak(t *testing.T) {
 		perClient   = 100
 		maxInFlight = 32
 	)
+	withGOMAXPROCS(t, 4) // exercise real parallelism even on 1-CPU CI hosts
 	path, _ := writeCorpusFile(t, testkit.Config{Seed: 71, Shape: testkit.Regular, Funcs: 6, Calls: 120})
 	paths := goodPaths(t, path)
 

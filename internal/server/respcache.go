@@ -1,0 +1,255 @@
+// The HTTP response cache. Every cacheable query response is a pure
+// function of (mounted file content, request URI): the container's v2
+// trailer directory checksums give a free content hash
+// (CompactedFile.ContentHash), so the server can both
+//
+//   - answer If-None-Match revalidations with 304 Not Modified before
+//     any decode work, and
+//   - replay previously rendered response bodies byte-for-byte from a
+//     bounded in-memory cache, skipping extraction, solving, and JSON
+//     encoding entirely.
+//
+// Keys embed the content hash, so remounting different bytes under the
+// same name can never serve stale responses — old entries simply stop
+// being reachable and age out of the CLOCK ring. v1 containers have no
+// checksums, hence no content hash: their responses get no ETag and
+// are never cached (correctness degrades gracefully to "recompute").
+
+package server
+
+import (
+	"bytes"
+	"hash/fnv"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// respShards spreads the response cache so concurrent GETs of
+// different URIs rarely contend on one mutex.
+const respShards = 8
+
+// respEntry is one rendered response. Entries are immutable once
+// published; used marks CLOCK recency (a plain bool mutated under the
+// shard mutex).
+type respEntry struct {
+	key         string
+	etag        string
+	contentType string
+	body        []byte
+	used        bool
+}
+
+type respShard struct {
+	mu   sync.Mutex
+	m    map[string]*respEntry
+	ring []*respEntry
+	hand int
+	cap  int
+}
+
+// respCache is a sharded, bounded map of rendered responses with
+// CLOCK (second-chance) eviction per shard.
+type respCache struct {
+	shards [respShards]*respShard
+}
+
+// newRespCache builds a cache holding about `entries` responses in
+// total. entries must be positive (the caller gates disabling).
+func newRespCache(entries int) *respCache {
+	per := (entries + respShards - 1) / respShards
+	if per < 1 {
+		per = 1
+	}
+	c := &respCache{}
+	for i := range c.shards {
+		c.shards[i] = &respShard{m: make(map[string]*respEntry), cap: per}
+	}
+	return c
+}
+
+func (c *respCache) shardOf(key string) *respShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%respShards]
+}
+
+// get returns the cached entry for key, or nil.
+func (c *respCache) get(key string) *respEntry {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return nil
+	}
+	e.used = true
+	return e
+}
+
+// put inserts e, evicting via CLOCK sweep when the shard is full.
+func (c *respCache) put(e *respEntry) {
+	s := c.shardOf(e.key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[e.key]; ok {
+		return
+	}
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, e)
+		s.m[e.key] = e
+		return
+	}
+	for {
+		victim := s.ring[s.hand]
+		if victim.used {
+			victim.used = false
+			s.hand = (s.hand + 1) % len(s.ring)
+			continue
+		}
+		delete(s.m, victim.key)
+		s.ring[s.hand] = e
+		s.hand = (s.hand + 1) % len(s.ring)
+		break
+	}
+	s.m[e.key] = e
+}
+
+// len reports the number of cached responses (for tests and gauges).
+func (c *respCache) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// etagMatches reports whether an If-None-Match header value matches
+// the given (strong, quoted) entity tag, per RFC 9110 §13.1.2: a list
+// of entity tags compared weakly (a weak prefix on the client's copy
+// still matches), or "*" matching any current representation.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" {
+			return true
+		}
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// responseRecorder captures a handler's successful response so it can
+// be cached and replayed. Handlers write headers (Content-Type) and a
+// single JSON body; that is all the recorder needs to preserve.
+type responseRecorder struct {
+	hdr    http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func newResponseRecorder() *responseRecorder {
+	return &responseRecorder{hdr: make(http.Header)}
+}
+
+func (r *responseRecorder) Header() http.Header { return r.hdr }
+
+func (r *responseRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.buf.Write(p)
+}
+
+// cached wraps a query handler with the ETag/response-cache discipline:
+//
+//  1. Resolve the mount and derive its content hash; v1 mounts (no
+//     hash) pass straight through to the handler.
+//  2. If the client's If-None-Match matches, answer 304 with no decode
+//     work at all.
+//  3. On a response-cache hit, replay the rendered body (again no
+//     decode work).
+//  4. Otherwise run the handler against a recorder and cache the
+//     rendered 200 response.
+//
+// Error responses are never cached; they pass through to limited()'s
+// error writer exactly as before.
+// ETag revalidation needs no stored state, so it stays on even when
+// the response cache is disabled (s.resp == nil).
+func (s *Server) cached(h handlerFunc) handlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		m, err := s.resolveMount(r)
+		if err != nil {
+			return err
+		}
+		etag := m.etag
+		if etag == "" {
+			return h(w, r)
+		}
+		if etagMatches(r.Header.Get("If-None-Match"), etag) {
+			if ref, ok := r.Context().Value(mountRefKey{}).(*mountRef); ok {
+				ref.status = http.StatusNotModified
+			}
+			if m.mResp304 != nil {
+				m.mResp304.Inc()
+			}
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return nil
+		}
+		// RequestURI carries path and query string, so every parameter
+		// combination is its own entry; the etag in the key ties the
+		// entry to the exact mounted bytes.
+		key := m.name + "\x00" + etag + "\x00" + r.URL.RequestURI()
+		if s.resp != nil {
+			if e := s.resp.get(key); e != nil {
+				s.mRespHits.Inc()
+				if m.mRespHits != nil {
+					m.mRespHits.Inc()
+				}
+				w.Header().Set("Content-Type", e.contentType)
+				w.Header().Set("ETag", e.etag)
+				_, werr := w.Write(e.body)
+				return werr
+			}
+			s.mRespMisses.Inc()
+			if m.mRespMisses != nil {
+				m.mRespMisses.Inc()
+			}
+		}
+		rec := newResponseRecorder()
+		if err := h(rec, r); err != nil {
+			return err
+		}
+		ct := rec.hdr.Get("Content-Type")
+		body := rec.buf.Bytes()
+		if s.resp != nil && rec.status == http.StatusOK {
+			s.resp.put(&respEntry{
+				key:         key,
+				etag:        etag,
+				contentType: ct,
+				body:        bytes.Clone(body),
+			})
+		}
+		if ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.Header().Set("ETag", etag)
+		_, werr := w.Write(body)
+		return werr
+	}
+}

@@ -47,9 +47,10 @@ import (
 
 // Defaults for Options zero values.
 const (
-	DefaultCacheEntries   = 64
-	DefaultMaxInFlight    = 64
-	DefaultRequestTimeout = 5 * time.Second
+	DefaultCacheEntries         = 64
+	DefaultMaxInFlight          = 64
+	DefaultRequestTimeout       = 5 * time.Second
+	DefaultResponseCacheEntries = 256
 )
 
 // Options configures a Server. Zero values select the defaults above.
@@ -59,6 +60,11 @@ type Options struct {
 	// MaxInFlight bounds concurrently served query requests; excess
 	// requests are rejected with 429 rather than queued.
 	MaxInFlight int
+	// ResponseCacheEntries bounds the rendered-response cache shared by
+	// the cacheable query routes (see respcache.go). Zero selects
+	// DefaultResponseCacheEntries; negative disables response caching
+	// (ETag/304 revalidation still works — it needs no cache).
+	ResponseCacheEntries int
 	// RequestTimeout is the per-request context deadline. Negative
 	// disables the deadline (requests still honor client cancellation).
 	RequestTimeout time.Duration
@@ -81,6 +87,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.ResponseCacheEntries == 0 {
+		o.ResponseCacheEntries = DefaultResponseCacheEntries
 	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
@@ -105,6 +114,9 @@ type Server struct {
 
 	cat *Catalog
 
+	// resp is the rendered-response cache; nil when disabled.
+	resp *respCache
+
 	// Metrics handles, resolved once.
 	mRequests    *obs.Counter
 	m2xx         *obs.Counter
@@ -121,6 +133,9 @@ type Server struct {
 	mCacheHits   *obs.Counter
 	mCacheMisses *obs.Counter
 	mDecodeBytes *obs.Counter
+	m304         *obs.Counter
+	mRespHits    *obs.Counter
+	mRespMisses  *obs.Counter
 }
 
 // New builds a Server with no mounts.
@@ -148,6 +163,13 @@ func New(opts Options) *Server {
 		mCacheHits:   r.Counter("twpp_cache_hits_total"),
 		mCacheMisses: r.Counter("twpp_cache_misses_total"),
 		mDecodeBytes: r.Counter("twpp_decode_bytes_total"),
+		m304:         r.Counter("twpp_responses_304_total"),
+		mRespHits:    r.Counter("twpp_respcache_hits_total"),
+		mRespMisses:  r.Counter("twpp_respcache_misses_total"),
+	}
+	if opts.ResponseCacheEntries > 0 {
+		s.resp = newRespCache(opts.ResponseCacheEntries)
+		r.GaugeFunc("twpp_respcache_entries", func() float64 { return float64(s.resp.len()) })
 	}
 	s.cat = NewCatalog(CatalogOptions{
 		Open:         opts.Open,
@@ -174,19 +196,21 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("GET /funcs", s.limited(s.handleFuncs))
-	mux.HandleFunc("GET /trace/{fn}", s.limited(s.handleTrace))
-	mux.HandleFunc("GET /stats/{fn}", s.limited(s.handleStats))
-	mux.HandleFunc("GET /cfg/{fn}", s.limited(s.handleCFG))
-	mux.HandleFunc("GET /query", s.limited(s.handleQuery))
+	// Query routes are deterministic functions of (mounted bytes,
+	// request URI), so they go through the ETag/response-cache wrapper.
+	mux.HandleFunc("GET /funcs", s.limited(s.cached(s.handleFuncs)))
+	mux.HandleFunc("GET /trace/{fn}", s.limited(s.cached(s.handleTrace)))
+	mux.HandleFunc("GET /stats/{fn}", s.limited(s.cached(s.handleStats)))
+	mux.HandleFunc("GET /cfg/{fn}", s.limited(s.cached(s.handleCFG)))
+	mux.HandleFunc("GET /query", s.limited(s.cached(s.handleQuery)))
 	// The /v1/{mount}/... namespace addresses a mount in the path;
 	// the legacy flat routes above keep working with ?file=.
 	mux.HandleFunc("GET /mounts", s.limited(s.handleMounts))
-	mux.HandleFunc("GET /v1/{mount}/funcs", s.limited(s.handleFuncs))
-	mux.HandleFunc("GET /v1/{mount}/trace/{fn}", s.limited(s.handleTrace))
-	mux.HandleFunc("GET /v1/{mount}/stats/{fn}", s.limited(s.handleStats))
-	mux.HandleFunc("GET /v1/{mount}/cfg/{fn}", s.limited(s.handleCFG))
-	mux.HandleFunc("GET /v1/{mount}/query", s.limited(s.handleQuery))
+	mux.HandleFunc("GET /v1/{mount}/funcs", s.limited(s.cached(s.handleFuncs)))
+	mux.HandleFunc("GET /v1/{mount}/trace/{fn}", s.limited(s.cached(s.handleTrace)))
+	mux.HandleFunc("GET /v1/{mount}/stats/{fn}", s.limited(s.cached(s.handleStats)))
+	mux.HandleFunc("GET /v1/{mount}/cfg/{fn}", s.limited(s.cached(s.handleCFG)))
+	mux.HandleFunc("GET /v1/{mount}/query", s.limited(s.cached(s.handleQuery)))
 	s.mux = mux
 	return s
 }
@@ -276,6 +300,10 @@ func (s *Server) limited(h handlerFunc) http.HandlerFunc {
 		if err != nil {
 			status, code = classify(err)
 			writeJSONError(w, status, code, err.Error())
+		} else if ref.status != 0 {
+			// A handler wrapper (the ETag revalidation path) already
+			// wrote a non-200 success status.
+			status, code = ref.status, "not_modified"
 		}
 		if m := ref.m; m != nil && m.mRequests != nil {
 			m.mRequests.Inc()
@@ -301,6 +329,8 @@ func classify(err error) (status int, code string) {
 
 func (s *Server) countStatus(status int, code string) {
 	switch {
+	case status == http.StatusNotModified:
+		s.m304.Inc()
 	case status < 300:
 		s.m2xx.Inc()
 	case status < 500:

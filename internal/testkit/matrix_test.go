@@ -26,6 +26,9 @@ func TestFormatBackendMatrix(t *testing.T) {
 					if err := ExtractVsRawScanVariant(w, format, kind); err != nil {
 						t.Errorf("ExtractVsRawScan: %v", err)
 					}
+					if err := ExtractIntoParityVariant(w, format, kind); err != nil {
+						t.Errorf("ExtractIntoParity: %v", err)
+					}
 				})
 			}
 		}

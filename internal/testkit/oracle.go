@@ -205,6 +205,53 @@ func ExtractVsRawScanVariant(w *trace.RawWPP, format int, kind storage.Kind) err
 	return nil
 }
 
+// ExtractIntoParityVariant checks that the pooled extraction path
+// (ExtractFunctionInto with one shared buffer) returns results
+// identical to the allocating path for every function of w, at the
+// given container format (0 = writer default) and storage backend. It
+// also pins the ContentHash availability rule: v2 containers have one,
+// v1 containers do not.
+func ExtractIntoParityVariant(w *trace.RawWPP, format int, kind storage.Kind) error {
+	dir, err := os.MkdirTemp("", "testkit-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	c, _ := wpp.Compact(w)
+	t := core.FromCompacted(c)
+	path := filepath.Join(dir, "t.twpp")
+	if err := wppfile.WriteCompactedFormat(path, t, 1, format); err != nil {
+		return err
+	}
+	cf, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{Backend: kind})
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+
+	if _, ok := cf.ContentHash(); ok != (cf.FormatVersion() == wppfile.FormatV2) {
+		return fmt.Errorf("ContentHash ok=%v for format v%d", ok, cf.FormatVersion())
+	}
+
+	ebuf := wppfile.GetExtractBuffer()
+	defer wppfile.PutExtractBuffer(ebuf)
+	for _, fn := range cf.Functions() {
+		ift, ierr := cf.ExtractFunctionInto(fn, ebuf)
+		ft, ferr := cf.ExtractFunction(fn)
+		if (ferr == nil) != (ierr == nil) || (ferr != nil && ferr.Error() != ierr.Error()) {
+			return fmt.Errorf("f%d: parity break: plain=%v pooled=%v", fn, ferr, ierr)
+		}
+		if ferr != nil {
+			continue
+		}
+		if perr := EqualFunctionTWPP(ft, ift); perr != nil {
+			return fmt.Errorf("f%d: result divergence: %w", fn, perr)
+		}
+	}
+	return nil
+}
+
 // expandCalls collects fn's per-call expanded traces in call-completion
 // order — a post-order DCG walk, matching the order a linear replay
 // emits ExitCall events.
@@ -258,11 +305,12 @@ func pathEqual(a, b wpp.PathTrace) bool {
 }
 
 // CheckCompactedDecode drives every compacted decode surface (open,
-// DCG, per-function extraction, full read) over one image, recovering
-// panics. It returns nil when the decoder either succeeds or fails
-// with a structured error, and a descriptive error on a panic or an
-// unstructured failure — the two outcomes hostile input must never
-// produce.
+// DCG, per-function extraction — allocating and pooled, whose results
+// and errors must agree exactly — and full read) over one image,
+// recovering panics. It returns nil when the decoder either succeeds
+// or fails with a structured error, and a descriptive error on a
+// panic, an unstructured failure, or an extract/extract-into parity
+// break — outcomes hostile input must never produce.
 func CheckCompactedDecode(dir string, data []byte, opts wppfile.OpenOptions) (vErr error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -283,15 +331,76 @@ func CheckCompactedDecode(dir string, data []byte, opts wppfile.OpenOptions) (vE
 			return v
 		}
 	}
+	ebuf := wppfile.GetExtractBuffer()
+	defer wppfile.PutExtractBuffer(ebuf)
 	for _, fn := range cf.Functions() {
-		if _, err := cf.ExtractFunction(fn); err != nil {
+		// Pooled extraction first (before the plain path can populate
+		// the decode cache), so both paths decode the same raw bytes.
+		ift, ierr := cf.ExtractFunctionInto(fn, ebuf)
+		ft, err := cf.ExtractFunction(fn)
+		if (err == nil) != (ierr == nil) || (err != nil && err.Error() != ierr.Error()) {
+			return fmt.Errorf("f%d: extract/extract-into parity break: plain=%v pooled=%v", fn, err, ierr)
+		}
+		if err != nil {
 			if v := requireStructured("ExtractFunction", err); v != nil {
 				return v
 			}
+			continue
+		}
+		if perr := EqualFunctionTWPP(ft, ift); perr != nil {
+			return fmt.Errorf("f%d: extract/extract-into result divergence: %w", fn, perr)
 		}
 	}
 	if _, err := cf.ReadAll(); err != nil {
 		return requireStructured("ReadAll", err)
+	}
+	return nil
+}
+
+// EqualFunctionTWPP compares two decoded function blocks semantically
+// (nil and empty slices are equal — the pooled decoder carves empty
+// slices from arenas where the allocating one makes fresh ones) and
+// returns a descriptive error on the first divergence.
+func EqualFunctionTWPP(a, b *core.FunctionTWPP) error {
+	if a.Fn != b.Fn || a.CallCount != b.CallCount {
+		return fmt.Errorf("header differs: (%d,%d) vs (%d,%d)", a.Fn, a.CallCount, b.Fn, b.CallCount)
+	}
+	if len(a.Dicts) != len(b.Dicts) {
+		return fmt.Errorf("dict count %d vs %d", len(a.Dicts), len(b.Dicts))
+	}
+	for i := range a.Dicts {
+		if len(a.Dicts[i]) != len(b.Dicts[i]) {
+			return fmt.Errorf("dict %d size %d vs %d", i, len(a.Dicts[i]), len(b.Dicts[i]))
+		}
+		for h, chain := range a.Dicts[i] {
+			other, ok := b.Dicts[i][h]
+			if !ok || !pathEqual(chain, other) {
+				return fmt.Errorf("dict %d chain for block %d differs", i, h)
+			}
+		}
+	}
+	if len(a.Traces) != len(b.Traces) || len(a.DictOf) != len(b.DictOf) {
+		return fmt.Errorf("trace count %d/%d vs %d/%d", len(a.Traces), len(a.DictOf), len(b.Traces), len(b.DictOf))
+	}
+	for i := range a.Traces {
+		if a.DictOf[i] != b.DictOf[i] {
+			return fmt.Errorf("trace %d dict index %d vs %d", i, a.DictOf[i], b.DictOf[i])
+		}
+		ta, tb := a.Traces[i], b.Traces[i]
+		if ta.Len != tb.Len || len(ta.Blocks) != len(tb.Blocks) {
+			return fmt.Errorf("trace %d shape (%d,%d) vs (%d,%d)", i, ta.Len, len(ta.Blocks), tb.Len, len(tb.Blocks))
+		}
+		for j := range ta.Blocks {
+			ba, bb := ta.Blocks[j], tb.Blocks[j]
+			if ba.Block != bb.Block || len(ba.Times) != len(bb.Times) {
+				return fmt.Errorf("trace %d block %d differs", i, j)
+			}
+			for k := range ba.Times {
+				if ba.Times[k] != bb.Times[k] {
+					return fmt.Errorf("trace %d block %d entry %d: %v vs %v", i, j, k, ba.Times[k], bb.Times[k])
+				}
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,157 @@
+package wppfile_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"twpp/internal/storage"
+	"twpp/internal/testkit"
+	"twpp/internal/wppfile"
+)
+
+// writeCorpusImage writes a compacted image of the given shape and
+// returns its path.
+func writeCorpusImage(t *testing.T, shape testkit.Shape) string {
+	t.Helper()
+	w := testkit.Generate(testkit.Config{Seed: 11, Shape: shape})
+	_, compacted, err := testkit.EncodeBoth(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "a.twpp")
+	if err := os.WriteFile(path, compacted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExtractIntoZeroAllocs is the regression guard for the tentpole
+// zero-allocation property: once an ExtractBuffer has decoded a block
+// shape, re-extracting through it performs zero heap allocations.
+func TestExtractIntoZeroAllocs(t *testing.T) {
+	for _, kind := range []storage.Kind{storage.KindFile, storage.KindMemory} {
+		t.Run(kind.String(), func(t *testing.T) {
+			path := writeCorpusImage(t, testkit.Irregular)
+			cf, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{Backend: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cf.Close()
+			buf := wppfile.GetExtractBuffer()
+			defer wppfile.PutExtractBuffer(buf)
+			fns := cf.Functions()
+			if len(fns) == 0 {
+				t.Fatal("corpus has no functions")
+			}
+			// Warm: grow the buffer's arenas and dictionary maps to the
+			// corpus's largest shapes.
+			for round := 0; round < 3; round++ {
+				for _, fn := range fns {
+					if _, err := cf.ExtractFunctionInto(fn, buf); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for _, fn := range fns {
+				fn := fn
+				n := testing.AllocsPerRun(100, func() {
+					if _, err := cf.ExtractFunctionInto(fn, buf); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if n != 0 {
+					t.Errorf("fn %d (%s): %.1f allocs/op on warm pooled extract, want 0", fn, kind, n)
+				}
+			}
+		})
+	}
+}
+
+// TestExtractCacheHitZeroAllocs guards the other warm path: a decode
+// cache hit in ExtractFunction must not allocate (the lock-free read
+// path loads a snapshot and touches only shard-local state).
+func TestExtractCacheHitZeroAllocs(t *testing.T) {
+	path := writeCorpusImage(t, testkit.Periodic)
+	cf, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{CacheEntries: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	fns := cf.Functions()
+	for _, fn := range fns {
+		if _, err := cf.ExtractFunction(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, fn := range fns {
+		fn := fn
+		n := testing.AllocsPerRun(100, func() {
+			if _, err := cf.ExtractFunction(fn); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if n != 0 {
+			t.Errorf("fn %d: %.1f allocs/op on warm cached extract, want 0", fn, n)
+		}
+	}
+	hits, _ := cf.CacheStats()
+	if hits == 0 {
+		t.Error("cache reported no hits; the test did not exercise the hit path")
+	}
+}
+
+// TestExtractIntoConcurrent runs 16 goroutines, each with a private
+// ExtractBuffer, against one shared CompactedFile (run under -race via
+// make race) and checks every pooled result against the allocating
+// path.
+func TestExtractIntoConcurrent(t *testing.T) {
+	path := writeCorpusImage(t, testkit.DeepRecursion)
+	cf, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{CacheEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	fns := cf.Functions()
+
+	ref, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := wppfile.GetExtractBuffer()
+			defer wppfile.PutExtractBuffer(buf)
+			for i := 0; i < 40; i++ {
+				fn := fns[(g+i)%len(fns)]
+				ift, err := cf.ExtractFunctionInto(fn, buf)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want, err := ref.ExtractFunction(fn)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if perr := testkit.EqualFunctionTWPP(want, ift); perr != nil {
+					errs <- perr
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

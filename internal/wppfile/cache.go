@@ -1,7 +1,6 @@
 package wppfile
 
 import (
-	"container/list"
 	"sync"
 	"sync/atomic"
 
@@ -9,27 +8,67 @@ import (
 	"twpp/internal/core"
 )
 
-// decodeCache is a sharded LRU of decoded function blocks, keyed by
-// FuncID. Sharding keeps lock contention low when many goroutines
-// extract concurrently; hit/miss counters are atomic so CacheStats
-// never takes a lock. Cached *core.FunctionTWPP values are shared
-// between callers and must be treated as read-only.
+// decodeCache is a sharded cache of decoded function blocks, keyed by
+// FuncID, designed for a read-mostly workload on many cores:
+//
+//   - The hit path is lock-free and write-free on shared state. Each
+//     shard publishes an immutable map snapshot through an atomic
+//     pointer; a get loads the snapshot, looks up the key, and sets
+//     the entry's CLOCK reference bit only when it is not already set
+//     (a warm hit touches no shared cache line at all).
+//   - Hit/miss counters are shard-local and the shard struct is padded
+//     past a cache line, so counters on different shards never false
+//     share; stats() sums them on demand.
+//   - Writers (the decode-miss path, which is rare once warm) take a
+//     per-shard mutex, evict with a CLOCK hand over the shard's ring,
+//     rebuild the map copy, and publish it atomically.
+//
+// Eviction is CLOCK (second chance) rather than strict LRU: recency is
+// the reference bit set by hits, which is what makes the hit path
+// read-only. Cached *core.FunctionTWPP values are shared between
+// callers and must be treated as read-only.
 type decodeCache struct {
 	shards []cacheShard
-	hits   atomic.Uint64
-	misses atomic.Uint64
+}
+
+// CacheShardStats is one shard's cumulative hit/miss counts, as
+// reported by CompactedFile.CacheShardStats.
+type CacheShardStats struct {
+	Hits, Misses uint64
+}
+
+// cacheView is the immutable snapshot a shard publishes to readers.
+// The map is never mutated after being stored; writers replace it
+// wholesale.
+type cacheView struct {
+	m map[cfg.FuncID]*cacheEntry
 }
 
 type cacheShard struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[cfg.FuncID]*list.Element
+	// hits/misses are shard-local so the hottest counters in the
+	// system are never shared between shards.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	// view is the published snapshot readers load without locking.
+	view atomic.Pointer[cacheView]
+
+	// Writer-owned state, guarded by mu.
+	mu   sync.Mutex
+	cap  int
+	ring []*cacheEntry // CLOCK ring of resident entries
+	hand int           // CLOCK hand position in ring
+
+	// Pad the struct past a 64-byte cache line so adjacent shards'
+	// counters live on different lines.
+	_ [40]byte
 }
 
 type cacheEntry struct {
 	fn cfg.FuncID
 	ft *core.FunctionTWPP
+	// ref is the CLOCK reference bit: set by hits, cleared by the
+	// eviction hand as it sweeps.
+	ref atomic.Bool
 }
 
 // cacheShardCount bounds the shard fan-out; tiny caches use fewer
@@ -49,11 +88,7 @@ func newDecodeCache(entries int) *decodeCache {
 	c := &decodeCache{shards: make([]cacheShard, n)}
 	per := (entries + n - 1) / n
 	for i := range c.shards {
-		c.shards[i] = cacheShard{
-			cap: per,
-			ll:  list.New(),
-			m:   make(map[cfg.FuncID]*list.Element, per),
-		}
+		c.shards[i].cap = per
 	}
 	return c
 }
@@ -62,46 +97,84 @@ func (c *decodeCache) shard(fn cfg.FuncID) *cacheShard {
 	return &c.shards[uint32(fn)%uint32(len(c.shards))]
 }
 
-// get returns the cached block for fn, updating recency and counters.
+// get returns the cached block for fn. The hit path takes no locks
+// and, once the reference bit is set, performs no shared writes beyond
+// the shard-local hit counter.
 func (c *decodeCache) get(fn cfg.FuncID) (*core.FunctionTWPP, bool) {
 	s := c.shard(fn)
-	s.mu.Lock()
-	el, ok := s.m[fn]
-	if ok {
-		s.ll.MoveToFront(el)
+	if v := s.view.Load(); v != nil {
+		if e, ok := v.m[fn]; ok {
+			if !e.ref.Load() {
+				e.ref.Store(true)
+			}
+			s.hits.Add(1)
+			return e.ft, true
+		}
 	}
-	s.mu.Unlock()
-	if !ok {
-		c.misses.Add(1)
-		return nil, false
-	}
-	c.hits.Add(1)
-	return el.Value.(cacheEntry).ft, true
+	s.misses.Add(1)
+	return nil, false
 }
 
-// put inserts a decoded block, evicting the shard's least recently
-// used entry when full.
+// put inserts a decoded block, evicting via the CLOCK hand when the
+// shard is full, and publishes a new snapshot.
 func (c *decodeCache) put(fn cfg.FuncID, ft *core.FunctionTWPP) {
 	s := c.shard(fn)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.m[fn]; ok {
-		// A concurrent extraction already cached this block; keep the
-		// existing entry so all callers share one decode.
-		s.ll.MoveToFront(el)
-		return
-	}
-	if s.ll.Len() >= s.cap {
-		oldest := s.ll.Back()
-		if oldest != nil {
-			s.ll.Remove(oldest)
-			delete(s.m, oldest.Value.(cacheEntry).fn)
+	old := s.view.Load()
+	if old != nil {
+		if _, ok := old.m[fn]; ok {
+			// A concurrent extraction already cached this block; keep the
+			// existing entry so all callers share one decode.
+			return
 		}
 	}
-	s.m[fn] = s.ll.PushFront(cacheEntry{fn: fn, ft: ft})
+	next := make(map[cfg.FuncID]*cacheEntry, len(s.ring)+1)
+	if old != nil {
+		for k, v := range old.m {
+			next[k] = v
+		}
+	}
+	e := &cacheEntry{fn: fn, ft: ft}
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, e)
+	} else {
+		// CLOCK sweep: clear reference bits until an unreferenced entry
+		// is found; two full laps guarantee a victim.
+		for {
+			victim := s.ring[s.hand]
+			if victim.ref.Load() {
+				victim.ref.Store(false)
+				s.hand = (s.hand + 1) % len(s.ring)
+				continue
+			}
+			delete(next, victim.fn)
+			s.ring[s.hand] = e
+			s.hand = (s.hand + 1) % len(s.ring)
+			break
+		}
+	}
+	next[fn] = e
+	s.view.Store(&cacheView{m: next})
 }
 
-// stats reports cumulative hit and miss counts.
+// stats reports cumulative hit and miss counts summed over shards.
 func (c *decodeCache) stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
+}
+
+// shardStats reports each shard's counters.
+func (c *decodeCache) shardStats() []CacheShardStats {
+	out := make([]CacheShardStats, len(c.shards))
+	for i := range c.shards {
+		out[i] = CacheShardStats{
+			Hits:   c.shards[i].hits.Load(),
+			Misses: c.shards[i].misses.Load(),
+		}
+	}
+	return out
 }

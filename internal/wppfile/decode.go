@@ -21,8 +21,37 @@ import (
 // decodeFunctionBlock decodes one function's block. Offsets in the
 // returned errors are relative to the block start.
 func decodeFunctionBlock(data []byte, fn cfg.FuncID, lim limits) (*core.FunctionTWPP, error) {
+	return decodeFunctionBlockInto(data, fn, lim, nil)
+}
+
+// readBlockIDs batch-decodes len(dst) unsigned varints into dst
+// through a fixed chunk scratch, so the decode is bounds-checked once
+// per chunk and allocates nothing regardless of the caller's path.
+func readBlockIDs(c *encoding.Cursor, dst []cfg.BlockID) error {
+	var tmp [64]uint64
+	for len(dst) > 0 {
+		k := len(dst)
+		if k > len(tmp) {
+			k = len(tmp)
+		}
+		if err := c.UvarintBatch(tmp[:k]); err != nil {
+			return err
+		}
+		for i := 0; i < k; i++ {
+			dst[i] = cfg.BlockID(tmp[i])
+		}
+		dst = dst[k:]
+	}
+	return nil
+}
+
+// decodeFunctionBlockInto is decodeFunctionBlock decoding into b's
+// reusable storage; a nil b allocates fresh results. Both paths run
+// this one implementation, so results and structured errors are
+// identical by construction (the parity tests assert it anyway).
+func decodeFunctionBlockInto(data []byte, fn cfg.FuncID, lim limits, b *ExtractBuffer) (*core.FunctionTWPP, error) {
 	c := encoding.NewCursor(data)
-	ft := &core.FunctionTWPP{Fn: fn}
+	ft := b.funcSlot(fn)
 	cc, err := c.Uvarint()
 	if err != nil {
 		return nil, err
@@ -35,7 +64,7 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID, lim limits) (*core.Function
 	if nd > uint64(c.Len()) {
 		return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: dictionary count %d too large", nd)
 	}
-	ft.Dicts = make([]wpp.Dictionary, nd)
+	ft.Dicts = b.allocDicts(int(nd))
 	for i := range ft.Dicts {
 		nh, err := c.Uvarint()
 		if err != nil {
@@ -44,7 +73,13 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID, lim limits) (*core.Function
 		if nh > uint64(c.Len()) {
 			return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: chain count %d too large", nh)
 		}
-		d := make(wpp.Dictionary, nh)
+		d := ft.Dicts[i]
+		if d == nil {
+			d = make(wpp.Dictionary, nh)
+			ft.Dicts[i] = d
+		} else {
+			clear(d)
+		}
 		for j := uint64(0); j < nh; j++ {
 			h, err := c.Uvarint()
 			if err != nil {
@@ -57,17 +92,12 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID, lim limits) (*core.Function
 			if cl > uint64(c.Len()) {
 				return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: chain length %d too large", cl)
 			}
-			chain := make(wpp.PathTrace, cl)
-			for k := range chain {
-				v, err := c.Uvarint()
-				if err != nil {
-					return nil, err
-				}
-				chain[k] = cfg.BlockID(v)
+			chain := b.allocChain(int(cl))
+			if err := readBlockIDs(c, chain); err != nil {
+				return nil, err
 			}
 			d[cfg.BlockID(h)] = chain
 		}
-		ft.Dicts[i] = d
 	}
 	nt, err := c.Uvarint()
 	if err != nil {
@@ -80,8 +110,7 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID, lim limits) (*core.Function
 		return nil, encoding.Errf(encoding.CodeLimit, int64(c.Pos()),
 			"wppfile: function %d declares %d traces, limit %d", fn, nt, lim.maxFuncTraces)
 	}
-	ft.Traces = make([]*core.Trace, nt)
-	ft.DictOf = make([]int, nt)
+	ft.Traces, ft.DictOf = b.allocTraces(int(nt))
 	for i := range ft.Traces {
 		di, err := c.Uvarint()
 		if err != nil {
@@ -107,7 +136,8 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID, lim limits) (*core.Function
 		if nb > uint64(c.Len()) {
 			return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: block count %d too large", nb)
 		}
-		tr := &core.Trace{Len: int(length), Blocks: make([]core.BlockTimes, nb)}
+		tr := ft.Traces[i]
+		*tr = core.Trace{Len: int(length), Blocks: b.allocTimes(int(nb))}
 		for j := range tr.Blocks {
 			bid, err := c.Uvarint()
 			if err != nil {
@@ -124,19 +154,21 @@ func decodeFunctionBlock(data []byte, fn cfg.FuncID, lim limits) (*core.Function
 				return nil, encoding.Errf(encoding.CodeLimit, int64(c.Pos()),
 					"wppfile: timestamp value count %d exceeds limit %d", nv, lim.maxSeqValues)
 			}
-			vals := make([]int64, nv)
-			for k := range vals {
-				if vals[k], err = c.Varint(); err != nil {
-					return nil, err
-				}
+			vals := b.signedVals(int(nv))
+			if err := c.VarintBatch(vals); err != nil {
+				return nil, err
 			}
-			seq, err := core.DecodeSigned(vals)
+			seq, err := core.DecodeSignedAppend(b.reserveEntries(int(nv)), vals)
 			if err != nil {
 				return nil, encoding.Wrap(encoding.CodeCorrupt, int64(c.Pos()), err, "")
 			}
+			b.commitEntries(seq)
+			if len(seq) == 0 {
+				// Match the allocating decoder, whose empty set is nil.
+				seq = nil
+			}
 			tr.Blocks[j] = core.BlockTimes{Block: cfg.BlockID(bid), Times: seq}
 		}
-		ft.Traces[i] = tr
 	}
 	if !c.Done() {
 		return nil, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "wppfile: %d trailing bytes in function block", c.Len())
@@ -412,6 +444,7 @@ func (cf *CompactedFile) parseV2() error {
 	if got := Checksum(dir); got != dirCRC {
 		return checksumErr("section directory", dirOff, dirCRC, got)
 	}
+	cf.dirCRC = dirCRC
 	secs, err := parseDirectory(dir, dirOff, cf.size)
 	if err != nil {
 		return err

@@ -60,7 +60,11 @@ type CompactedFile struct {
 	blocksOffset int64
 	blocksLen    int64
 	blocksCRC    uint32
-	size         int64
+	// dirCRC is the v2 trailer directory checksum. The directory
+	// stores every section's CRC, so dirCRC is a free whole-container
+	// content hash (ContentHash).
+	dirCRC uint32
+	size   int64
 	// secHeader/secDCG/secBlocks are the SectionSizes breakdown,
 	// computed once when the header parse finishes.
 	secHeader, secDCG, secBlocks int64
@@ -293,6 +297,15 @@ func (cf *CompactedFile) ExtractFunction(fn cfg.FuncID) (*core.FunctionTWPP, err
 // index before decoding, so extraction verifies exactly the bytes it
 // read without touching the rest of the file.
 func (cf *CompactedFile) ExtractFunctionCtx(ctx context.Context, fn cfg.FuncID) (*core.FunctionTWPP, error) {
+	return cf.extractCtx(ctx, fn, nil, true)
+}
+
+// extractCtx is the one extraction implementation behind both
+// ExtractFunctionCtx (buf == nil, cacheable) and
+// ExtractFunctionIntoCtx (caller buffer, never cached: the cache must
+// only hold blocks it owns, and a buffer-decoded block is overwritten
+// by the buffer's next use).
+func (cf *CompactedFile) extractCtx(ctx context.Context, fn cfg.FuncID, ebuf *ExtractBuffer, cacheable bool) (*core.FunctionTWPP, error) {
 	if cf.closed.Load() {
 		return nil, fmt.Errorf("wppfile: extract function %d: %w", fn, os.ErrClosed)
 	}
@@ -311,7 +324,13 @@ func (cf *CompactedFile) ExtractFunctionCtx(ctx context.Context, fn cfg.FuncID) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, e.Length)
+	var buf []byte
+	if ebuf != nil {
+		ebuf.reset()
+		buf = ebuf.blockBuf(e.Length)
+	} else {
+		buf = make([]byte, e.Length)
+	}
 	if _, err := cf.b.ReadAt(buf, cf.blocksOffset+int64(e.Offset)); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil, encoding.Wrap(encoding.CodeTruncated, cf.blocksOffset+int64(e.Offset), err,
@@ -328,14 +347,14 @@ func (cf *CompactedFile) ExtractFunctionCtx(ctx context.Context, fn cfg.FuncID) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ft, err := decodeFunctionBlock(buf, fn, cf.lim)
+	ft, err := decodeFunctionBlockInto(buf, fn, cf.lim, ebuf)
 	if err != nil {
 		return nil, err
 	}
 	if cf.inst != nil && cf.inst.OnDecode != nil {
 		cf.inst.OnDecode(fn, e.Length)
 	}
-	if cf.cache != nil {
+	if cacheable && cf.cache != nil {
 		cf.cache.put(fn, ft)
 	}
 	return ft, nil
@@ -355,6 +374,29 @@ func (cf *CompactedFile) CacheStats() (hits, misses uint64) {
 		return 0, 0
 	}
 	return cf.cache.stats()
+}
+
+// CacheShardStats reports per-shard decode-cache hit/miss counts, or
+// nil when the cache is disabled. Counters are shard-local (padded,
+// never shared between shards), so reading them is contention-free.
+func (cf *CompactedFile) CacheShardStats() []CacheShardStats {
+	if cf.cache == nil {
+		return nil
+	}
+	return cf.cache.shardStats()
+}
+
+// ContentHash returns a stable hash identifying the container's
+// content, derived from the v2 trailer: the directory CRC32-C (which
+// covers every section's stored CRC, so any payload change propagates
+// into it) combined with the file size. ok is false for v1 files,
+// which carry no checksums. The serving layer uses this as the basis
+// for HTTP ETags.
+func (cf *CompactedFile) ContentHash() (uint64, bool) {
+	if cf.format != FormatV2 {
+		return 0, false
+	}
+	return uint64(cf.dirCRC)<<32 | uint64(uint32(cf.size)), true
 }
 
 // ReadDCG reads and decodes the dynamic call graph. On v2 files the

@@ -59,30 +59,54 @@ func (rr *RawStreamReader) Replay(sink trace.EventSink) error {
 // sink sizes per-function state by an attacker-controlled id.
 func (rr *RawStreamReader) ReplayCtx(ctx context.Context, sink trace.EventSink) error {
 	d := &trace.Demux{Sink: sink, NumFuncs: len(rr.names)}
-	const cancelStride = 1 << 13
+	// Symbols are batch-decoded from the cursor's buffered window (at
+	// most replayBatch per outer iteration, so cancellation stays
+	// prompt). A symbol whose varint straddles the buffer edge — or is
+	// malformed — falls through to the per-value path, which reports
+	// errors with exact parity to the historical symbol-at-a-time loop.
+	const replayBatch = 512
+	var vals [replayBatch]uint64
+	var offs [replayBatch]int
 	n := 0
 	for !rr.c.Done() {
-		if n%cancelStride == 0 && ctx.Err() != nil {
+		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		n++
-		symAt := rr.c.Pos()
-		sym, err := rr.c.Uvarint()
-		if err != nil {
-			return err
+		k := rr.c.UvarintBatchBuffered(vals[:], offs[:])
+		if k == 0 {
+			symAt := rr.c.Pos()
+			sym, err := rr.c.Uvarint()
+			if err != nil {
+				return err
+			}
+			n++
+			if err := rr.feedSym(d, sym, symAt, n); err != nil {
+				return err
+			}
+			continue
 		}
-		if sym > math.MaxUint32 {
-			return encoding.Errf(encoding.CodeCorrupt, int64(symAt), "wppfile: symbol %d out of range", sym)
-		}
-		// A header with an empty name table declares no callable
-		// functions at all; Demux treats NumFuncs == 0 as "no bound", so
-		// keep the historical strictness here.
-		if f, ok := sequitur.IsEnter(uint32(sym)); ok && len(rr.names) == 0 {
-			return &trace.StreamError{Kind: trace.StreamUnknownFunc, Pos: n - 1, Sym: uint32(sym), Func: cfg.FuncID(f)}
-		}
-		if err := d.Feed(uint32(sym)); err != nil {
-			return err
+		for i := 0; i < k; i++ {
+			n++
+			if err := rr.feedSym(d, vals[i], offs[i], n); err != nil {
+				return err
+			}
 		}
 	}
 	return d.Close()
+}
+
+// feedSym validates one decoded symbol and feeds it to the demux.
+// symAt is the stream offset of the symbol's first byte; n is the
+// 1-based symbol count so far.
+func (rr *RawStreamReader) feedSym(d *trace.Demux, sym uint64, symAt, n int) error {
+	if sym > math.MaxUint32 {
+		return encoding.Errf(encoding.CodeCorrupt, int64(symAt), "wppfile: symbol %d out of range", sym)
+	}
+	// A header with an empty name table declares no callable
+	// functions at all; Demux treats NumFuncs == 0 as "no bound", so
+	// keep the historical strictness here.
+	if f, ok := sequitur.IsEnter(uint32(sym)); ok && len(rr.names) == 0 {
+		return &trace.StreamError{Kind: trace.StreamUnknownFunc, Pos: n - 1, Sym: uint32(sym), Func: cfg.FuncID(f)}
+	}
+	return d.Feed(uint32(sym))
 }
