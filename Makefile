@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap bench-scale bench-scale-short serve-test fuzz-seed ci
+.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap bench-scale bench-scale-short bench-segments serve-test fuzz-seed ci
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,11 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with concurrency: the parallel
-# compaction pipeline (root), its stages (wpp, core), and the
-# concurrent indexed extraction + decode cache (wppfile).
+# compaction pipeline (root), its stages (wpp, core), the concurrent
+# indexed extraction + decode cache (wppfile), and the segmented
+# container's background-merge swap protocol (segment).
 race:
-	$(GO) test -race ./internal/wppfile/ ./internal/wpp/ ./internal/core/ .
+	$(GO) test -race ./internal/wppfile/ ./internal/wpp/ ./internal/core/ ./internal/segment/ .
 
 vet:
 	$(GO) vet ./...
@@ -100,6 +101,14 @@ bench-scale-short:
 		$(GO) test -run TestWriteScaleBenchJSON ./internal/server/
 	@rm -f $(CURDIR)/.bench_scale_ci.json
 
+# Segmented-container extraction sweep (BENCH_*_segments.json
+# trajectory format): warm pooled extraction as the segment count grows
+# 1/4/16, before and after background merges. The flat-latency gate:
+# the printed worst-case multi-segment ratio should stay near 1x.
+bench-segments:
+	$(GO) run ./cmd/twpp-bench -scale 0.25 -table 1 -maxfuncs 20 -segments \
+		-json BENCH_$(shell date +%Y%m%d)_segments.json
+
 # Storage-backend comparison (BENCH_*_mmap.json trajectory format):
 # uncached concurrent extraction through positioned file reads vs a
 # read-only memory mapping, same compacted file and workload.
@@ -110,10 +119,12 @@ bench-mmap:
 
 # Run the fuzz targets on their seed corpora only (no fuzzing time;
 # the seeded cases run as ordinary tests): the compaction determinism
-# targets at the root and the hostile-input decode targets in wppfile.
+# targets at the root, the hostile-input decode targets in wppfile and
+# encoding, and the segmented-container manifest decoder.
 fuzz-seed:
 	$(GO) test -run 'FuzzParallelCompactDeterminism|FuzzStreamCompactDeterminism' .
 	$(GO) test -run 'FuzzDecodeCompacted|FuzzStreamRoundTrip' ./internal/wppfile/
 	$(GO) test -run 'FuzzUvarintBatchParity' ./internal/encoding/
+	$(GO) test -run 'FuzzManifestDecode' ./internal/segment/
 
 ci: lint vuln build test race serve-test fuzz-seed cover bench-mem bench-mmap bench-scale-short

@@ -434,8 +434,8 @@ func BenchmarkConcurrentExtract(b *testing.B) {
 // per goroutine) over the GOMAXPROCS 1/4/8 axis — the in-process half
 // of the multi-core scale-out story `make bench-scale` records for
 // the serving path. allocs/op must read 0 at every point; ns/op is
-// the per-extract latency. On a single-CPU host the curve is
-// expectedly flat (points past 1 oversubscribe one core).
+// the per-extract latency. The axis is clamped to NumCPU: points past
+// it would measure one core's scheduler overhead, not scale-out.
 func BenchmarkPooledExtractScale(b *testing.B) {
 	w := buildWorkload(b, "126.gcc-like")
 	c, _ := wpp.Compact(w)
@@ -443,7 +443,7 @@ func BenchmarkPooledExtractScale(b *testing.B) {
 	if err := wppfile.WriteCompacted(path, core.FromCompacted(c)); err != nil {
 		b.Fatal(err)
 	}
-	for _, procs := range bench.DefaultScaleProcs {
+	for _, procs := range bench.ClampProcs(bench.DefaultScaleProcs, false) {
 		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
 			old := runtime.GOMAXPROCS(procs)
 			defer runtime.GOMAXPROCS(old)

@@ -6,12 +6,16 @@
 // Usage:
 //
 //	twpp-compact -in trace.wpp [-o trace.twpp] [-j workers] [-stream]
-//	             [-format 2] [-verify] [-sequitur trace.seq]
+//	             [-format 2] [-segment-bytes n] [-verify]
+//	             [-sequitur trace.seq]
 //
 // -format selects the container layout (2 = sectioned with checksums,
-// the default; 1 = legacy). -verify reopens the output after writing
-// and checks it end to end: every section checksum, plus a full decode
-// of the call graph and every function's blocks. Verification failures
+// the default; 1 = legacy). -segment-bytes writes a segmented
+// container directory of sealed v2 segments with roughly that many
+// bytes each, instead of one file; the default output name then gains
+// a .twppd suffix. -verify reopens the output after writing and
+// checks it end to end: every section checksum, plus a full decode of
+// the call graph and every function's blocks. Verification failures
 // exit with the same structured codes as reads (3 corrupt, 4
 // truncated, 5 limit).
 package main
@@ -30,14 +34,15 @@ import (
 
 // compactConfig carries the validated flag values run consumes.
 type compactConfig struct {
-	in      string
-	out     string
-	seq     string
-	workers int
-	format  int
-	stream  bool
-	verify  bool
-	verbose bool
+	in       string
+	out      string
+	seq      string
+	workers  int
+	format   int
+	segBytes int64
+	stream   bool
+	verify   bool
+	verbose  bool
 }
 
 func main() {
@@ -47,6 +52,7 @@ func main() {
 	flag.StringVar(&c.seq, "sequitur", "", "also write the Sequitur-compressed baseline here")
 	flag.IntVar(&c.workers, "j", 0, "compaction worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.IntVar(&c.format, "format", 0, "container format: 2 sectioned+checksums (default), 1 legacy")
+	flag.Int64Var(&c.segBytes, "segment-bytes", 0, "write a segmented container directory with this per-segment byte budget (0 = single file)")
 	flag.BoolVar(&c.stream, "stream", false, "streaming pipeline: bounded-memory ingestion, identical output")
 	flag.BoolVar(&c.verify, "verify", false, "reopen the output and verify checksums plus a full decode")
 	flag.BoolVar(&c.verbose, "v", true, "print compaction statistics")
@@ -70,10 +76,19 @@ func run(ctx context.Context, c compactConfig) error {
 	default:
 		return cli.Usagef("unknown -format %d (want 1 or 2)", c.format)
 	}
+	segmented := c.segBytes > 0
+	if segmented && c.format == twpp.FormatV1 {
+		return cli.Usagef("-segment-bytes seals v2 segments; drop -format 1")
+	}
 	if out == "" {
-		out = in + ".twpp"
+		if segmented {
+			out = in + ".twppd"
+		} else {
+			out = in + ".twpp"
+		}
 	}
 	opts := twpp.CompactOptions{Workers: c.workers, Format: c.format}
+	segOpts := twpp.SegmentOptions{SegmentBytes: c.segBytes, Workers: c.workers}
 	var (
 		stats         twpp.CompactStats
 		traceB, dictB int
@@ -83,7 +98,13 @@ func run(ctx context.Context, c compactConfig) error {
 		if seqPath != "" {
 			return cli.Usagef("-sequitur needs the whole WPP in memory; drop -stream")
 		}
-		res, err := twpp.StreamCompactFileContext(ctx, in, out, opts)
+		var res *twpp.StreamResult
+		var err error
+		if segmented {
+			res, err = twpp.StreamCompactSegmentedFileContext(ctx, in, out, segOpts, opts)
+		} else {
+			res, err = twpp.StreamCompactFileContext(ctx, in, out, opts)
+		}
 		if err != nil {
 			return err
 		}
@@ -98,7 +119,12 @@ func run(ctx context.Context, c compactConfig) error {
 		if err != nil {
 			return err
 		}
-		if err := twpp.WriteFileOpts(out, tw, opts); err != nil {
+		if segmented {
+			err = twpp.CompactSegmented(out, tw, segOpts)
+		} else {
+			err = twpp.WriteFileOpts(out, tw, opts)
+		}
+		if err != nil {
 			return err
 		}
 		stats = s
@@ -140,10 +166,12 @@ func run(ctx context.Context, c compactConfig) error {
 // verifyOutput reopens the freshly written container and proves it
 // readable end to end: eager section-checksum verification at open
 // (v2), then a full decode of the dynamic call graph and of every
-// function's trace block. Errors keep their structured decode classes
-// so cli.ExitCode reports 3/4/5 exactly as a later reader would.
+// function's trace block. Segmented directories get the same sweep
+// through the merged read surface, so every sealed segment is
+// checked. Errors keep their structured decode classes so
+// cli.ExitCode reports 3/4/5 exactly as a later reader would.
 func verifyOutput(path string) error {
-	f, err := twpp.OpenFileOpts(path, twpp.OpenOptions{VerifyChecksums: true})
+	f, err := twpp.OpenContainer(path, twpp.OpenOptions{VerifyChecksums: true})
 	if err != nil {
 		return fmt.Errorf("verify %s: %w", path, err)
 	}

@@ -152,3 +152,60 @@ func TestRunErrors(t *testing.T) {
 		t.Error("absent input: want error")
 	}
 }
+
+// -segment-bytes seals a segmented container directory; -verify walks
+// the merged read surface, and the stream and batch pipelines seal
+// identical segment sets.
+func TestRunSegmented(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTrace(t, dir)
+	out := filepath.Join(dir, "t.twppd")
+	if err := run(context.Background(), compactConfig{in: in, out: out, workers: 2, segBytes: 16, verify: true}); err != nil {
+		t.Fatal(err)
+	}
+	set, err := twpp.OpenSegmented(out, twpp.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	if set.SegmentCount() < 2 {
+		t.Errorf("segment count = %d, want >= 2 at a 16-byte budget", set.SegmentCount())
+	}
+	if len(set.Functions()) != 2 {
+		t.Errorf("functions = %v", set.Functions())
+	}
+
+	stream := filepath.Join(dir, "s.twppd")
+	if err := run(context.Background(), compactConfig{in: in, out: stream, workers: 2, segBytes: 16, stream: true, verify: true}); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := os.ReadFile(filepath.Join(out, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := os.ReadFile(filepath.Join(stream, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bm, sm) {
+		t.Error("-stream segmented manifest differs from batch manifest")
+	}
+
+	// Segments are sealed v2 files; the legacy layout cannot carry them.
+	if err := run(context.Background(), compactConfig{in: in, segBytes: 16, format: twpp.FormatV1}); err == nil {
+		t.Error("-segment-bytes with -format 1: want usage error")
+	}
+}
+
+// With -segment-bytes and no -o, the default output name gains the
+// .twppd directory suffix.
+func TestRunSegmentedDefaultName(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTrace(t, dir)
+	if err := run(context.Background(), compactConfig{in: in, workers: 1, segBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(in + ".twppd"); err != nil || !fi.IsDir() {
+		t.Errorf("default segmented output missing or not a directory: %v", err)
+	}
+}

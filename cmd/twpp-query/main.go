@@ -1,12 +1,13 @@
-// Command twpp-query answers queries against a compacted TWPP file:
-// listing functions (hottest first), extracting one function's path
-// traces, and running profile-limited GEN-KILL data flow queries over
-// a chosen trace.
+// Command twpp-query answers queries against a compacted TWPP
+// container — a single .twpp file or a segmented container directory
+// (auto-detected by its manifest): listing functions (hottest first),
+// extracting one function's path traces, and running profile-limited
+// GEN-KILL data flow queries over a chosen trace.
 //
 // Usage:
 //
 //	twpp-query -in trace.twpp -list [-mmap] [-v]
-//	twpp-query -in trace.twpp -func 3 [-trace 0] [-show] [-cache 64]
+//	twpp-query -in trace.twppd -func 3 [-trace 0] [-show] [-cache 64]
 //	twpp-query -in trace.twpp -func 3 -trace 0 -block 4 -gen 1 -kill 6
 //
 // -cache N keeps up to N decoded function blocks in a sharded LRU so
@@ -47,7 +48,7 @@ type queryConfig struct {
 
 func main() {
 	var c queryConfig
-	flag.StringVar(&c.in, "in", "", "compacted TWPP file (required)")
+	flag.StringVar(&c.in, "in", "", "compacted TWPP file or segmented container directory (required)")
 	flag.BoolVar(&c.list, "list", false, "list functions, hottest first")
 	flag.IntVar(&c.fn, "func", -1, "function id to extract")
 	flag.IntVar(&c.traceIx, "trace", 0, "unique trace index within the function")
@@ -71,7 +72,7 @@ func run(out io.Writer, c queryConfig) error {
 	if c.mmap {
 		opts.Backend = twpp.BackendMmap
 	}
-	f, err := twpp.OpenFileOpts(c.in, opts)
+	f, err := twpp.OpenContainer(c.in, opts)
 	if err != nil {
 		return err
 	}
@@ -88,10 +89,11 @@ func run(out io.Writer, c queryConfig) error {
 
 	if c.list {
 		fmt.Fprintf(out, "%-8s %-24s %s\n", "id", "name", "calls")
+		names := f.Names()
 		for _, id := range f.Functions() {
 			name := fmt.Sprintf("func%d", id)
-			if int(id) < len(f.FuncNames) {
-				name = f.FuncNames[id]
+			if int(id) < len(names) {
+				name = names[id]
 			}
 			fmt.Fprintf(out, "%-8d %-24s %d\n", id, name, f.CallCount(id))
 		}

@@ -1,5 +1,8 @@
 // Command twpp-serve is a long-lived HTTP/JSON query server over
-// compacted TWPP files: the paper's single-seek per-function
+// compacted TWPP containers — single .twpp files or segmented
+// container directories (auto-detected by their manifest; a mounted
+// directory keeps serving while a background merge folds its
+// segments): the paper's single-seek per-function
 // extraction, per-function stats, dynamic-CFG construction, and
 // profile-limited GEN-KILL queries, served concurrently with bounded
 // in-flight work, per-request deadlines, Prometheus metrics, and
@@ -27,8 +30,8 @@
 //	/debug/pprof/         runtime profiles
 //	/healthz              liveness
 //
-// -in files mount under their base names without extension; -mount
-// pairs mount under explicit names. -mmap serves reads from read-only
+// -in paths (files or segment directories) mount under their base
+// names without extension; -mount pairs mount under explicit names. -mmap serves reads from read-only
 // memory mappings instead of file descriptors; -verify checks every
 // section checksum of every mounted v2 file before serving. The
 // server drains gracefully on SIGINT/SIGTERM: listeners close,

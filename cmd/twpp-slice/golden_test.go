@@ -39,7 +39,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 func TestGoldenApproach3(t *testing.T) {
 	src := writeSrc(t)
 	var buf bytes.Buffer
-	if err := run(src, "3,-4,3,-2", "main", 14, "Z", 0, "3", false, &buf); err != nil {
+	if err := run(src, "", "3,-4,3,-2", "main", 14, "Z", 0, "3", false, &buf); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "approach3.golden", buf.Bytes())
@@ -48,7 +48,7 @@ func TestGoldenApproach3(t *testing.T) {
 func TestGoldenInterprocedural(t *testing.T) {
 	src := writeSrc(t)
 	var buf bytes.Buffer
-	if err := run(src, "3,-4,3,-2", "main", 14, "Z", 0, "inter", false, &buf); err != nil {
+	if err := run(src, "", "3,-4,3,-2", "main", 14, "Z", 0, "inter", false, &buf); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "inter.golden", buf.Bytes())
@@ -73,7 +73,7 @@ func TestSliceExitCodes(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			err := run(tc.src, "3,-4,3,-2", "main", tc.block, "Z", 0, tc.approach, false, null)
+			err := run(tc.src, "", "3,-4,3,-2", "main", tc.block, "Z", 0, tc.approach, false, null)
 			if got := cli.ExitCode(err); got != tc.want {
 				t.Fatalf("exit code %d, want %d (err: %v)", got, tc.want, err)
 			}

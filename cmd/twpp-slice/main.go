@@ -6,9 +6,14 @@
 //
 //	twpp-slice -src prog.mini [-input 3,-4,3,-2] [-func main] \
 //	           -block 14 [-var Z] [-time T] [-approach 3|2|1|inter] [-v]
+//	twpp-slice -src prog.mini -in trace.twppd -block 14 [...]
 //
-// -v first prints a header describing the traced execution and the
-// container format version its compacted form carries.
+// -in replays a previously compacted container of this program's
+// execution — a single .twpp file or a segmented container directory
+// — instead of re-running the program, so slicing works directly off
+// stored traces. -v first prints a header describing the traced
+// execution and the container format version its compacted form
+// carries.
 //
 // With -approach inter the slice crosses call boundaries
 // (interprocedural, instance-precise); otherwise the named
@@ -38,6 +43,7 @@ import (
 func main() {
 	var (
 		srcPath  = flag.String("src", "", "minilang source file (required)")
+		inPath   = flag.String("in", "", "compacted container (file or segmented directory) of this program's execution; skips re-tracing")
 		input    = flag.String("input", "", "comma-separated integers for read statements")
 		funcName = flag.String("func", "main", "function to slice within")
 		block    = flag.Int("block", 0, "criterion block (statement number; required)")
@@ -47,10 +53,10 @@ func main() {
 		verbose  = flag.Bool("v", false, "print a trace header with the container format version")
 	)
 	flag.Parse()
-	cli.Exit("twpp-slice", run(*srcPath, *input, *funcName, *block, *varName, *instant, *approach, *verbose, os.Stdout))
+	cli.Exit("twpp-slice", run(*srcPath, *inPath, *input, *funcName, *block, *varName, *instant, *approach, *verbose, os.Stdout))
 }
 
-func run(srcPath, input, funcName string, block int, varName string, instant int64, approach string, verbose bool, out io.Writer) error {
+func run(srcPath, inPath, input, funcName string, block int, varName string, instant int64, approach string, verbose bool, out io.Writer) error {
 	if srcPath == "" {
 		return cli.Usagef("missing -src")
 	}
@@ -65,17 +71,39 @@ func run(srcPath, input, funcName string, block int, varName string, instant int
 	if err != nil {
 		return err
 	}
-	vals, err := parseInput(input)
-	if err != nil {
-		return err
-	}
-	res, err := prog.Trace(vals)
-	if err != nil {
-		return err
+	var w *twpp.RawWPP
+	if inPath != "" {
+		if input != "" {
+			return cli.Usagef("-in replays a stored trace; drop -input")
+		}
+		f, err := twpp.OpenContainer(inPath, twpp.OpenOptions{VerifyChecksums: true})
+		if err != nil {
+			return err
+		}
+		tw, err := f.ReadAll()
+		f.Close()
+		if err != nil {
+			return err
+		}
+		w, err = twpp.Reconstruct(tw)
+		if err != nil {
+			return err
+		}
+		w.FuncNames = prog.Names
+	} else {
+		vals, err := parseInput(input)
+		if err != nil {
+			return err
+		}
+		res, err := prog.Trace(vals)
+		if err != nil {
+			return err
+		}
+		w = res.WPP
 	}
 	if verbose {
 		fmt.Fprintf(out, "%s: %d functions, %d unique traces, container format v%d\n",
-			srcPath, len(prog.Names), len(res.WPP.Traces), twpp.DefaultFormat)
+			srcPath, len(prog.Names), len(w.Traces), twpp.DefaultFormat)
 	}
 
 	fnID, ok := prog.FuncByName(funcName)
@@ -91,7 +119,7 @@ func run(srcPath, input, funcName string, block int, varName string, instant int
 	}
 
 	if approach == "inter" {
-		c, _ := wpp.Compact(res.WPP)
+		c, _ := wpp.Compact(w)
 		tw := core.FromCompacted(c)
 		s := slicing.NewInter(prog.CFG, tw)
 		node := findCall(tw.Root, cfg.FuncID(fnID))
@@ -112,7 +140,7 @@ func run(srcPath, input, funcName string, block int, varName string, instant int
 	}
 
 	// Intraprocedural: use the function's first invocation trace.
-	path := firstTraceOf(res.WPP, cfg.FuncID(fnID))
+	path := firstTraceOf(w, cfg.FuncID(fnID))
 	if path == nil {
 		return fmt.Errorf("function %q was never called in this execution", funcName)
 	}

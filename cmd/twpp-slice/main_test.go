@@ -1,11 +1,15 @@
 package main
 
 import (
+	"io"
+
 	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"twpp"
 )
 
 const fig10 = `
@@ -50,7 +54,7 @@ func TestAllApproaches(t *testing.T) {
 	}
 	defer null.Close()
 	for _, a := range []string{"1", "2", "3", "inter"} {
-		if err := run(src, "3,-4,3,-2", "main", 14, "Z", 0, a, false, null); err != nil {
+		if err := run(src, "", "3,-4,3,-2", "main", 14, "Z", 0, a, false, null); err != nil {
 			t.Errorf("approach %s: %v", a, err)
 		}
 	}
@@ -60,7 +64,7 @@ func TestAllApproaches(t *testing.T) {
 func TestVerboseHeader(t *testing.T) {
 	src := writeSrc(t)
 	var buf bytes.Buffer
-	if err := run(src, "3,-4,3,-2", "main", 14, "Z", 0, "3", true, &buf); err != nil {
+	if err := run(src, "", "3,-4,3,-2", "main", 14, "Z", 0, "3", true, &buf); err != nil {
 		t.Fatal(err)
 	}
 	head, _, _ := strings.Cut(buf.String(), "\n")
@@ -74,10 +78,10 @@ func TestSliceInCallee(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	defer null.Close()
 	// f1's only block is 1.
-	if err := run(src, "3,-4,3,-2", "f1", 1, "", 0, "inter", false, null); err != nil {
+	if err := run(src, "", "3,-4,3,-2", "f1", 1, "", 0, "inter", false, null); err != nil {
 		t.Errorf("callee slice: %v", err)
 	}
-	if err := run(src, "3,-4,3,-2", "f1", 1, "", 0, "3", false, null); err != nil {
+	if err := run(src, "", "3,-4,3,-2", "f1", 1, "", 0, "3", false, null); err != nil {
 		t.Errorf("callee intraprocedural slice: %v", err)
 	}
 }
@@ -90,17 +94,67 @@ func TestSliceErrors(t *testing.T) {
 		name string
 		err  func() error
 	}{
-		{"missing src", func() error { return run("", "", "main", 1, "", 0, "3", false, null) }},
-		{"missing block", func() error { return run(src, "", "main", 0, "", 0, "3", false, null) }},
-		{"bad approach", func() error { return run(src, "1,1", "main", 14, "", 0, "9", false, null) }},
-		{"bad function", func() error { return run(src, "1,1", "nope", 14, "", 0, "3", false, null) }},
-		{"bad input", func() error { return run(src, "x", "main", 14, "", 0, "3", false, null) }},
-		{"absent file", func() error { return run("/no/such/file", "", "main", 1, "", 0, "3", false, null) }},
-		{"unexecuted block", func() error { return run(src, "0", "main", 7, "", 0, "3", false, null) }},
+		{"missing src", func() error { return run("", "", "", "main", 1, "", 0, "3", false, null) }},
+		{"missing block", func() error { return run(src, "", "", "main", 0, "", 0, "3", false, null) }},
+		{"bad approach", func() error { return run(src, "", "1,1", "main", 14, "", 0, "9", false, null) }},
+		{"bad function", func() error { return run(src, "", "1,1", "nope", 14, "", 0, "3", false, null) }},
+		{"bad input", func() error { return run(src, "", "x", "main", 14, "", 0, "3", false, null) }},
+		{"absent file", func() error { return run("/no/such/file", "", "", "main", 1, "", 0, "3", false, null) }},
+		{"unexecuted block", func() error { return run(src, "", "0", "main", 7, "", 0, "3", false, null) }},
 	}
 	for _, c := range cases {
 		if c.err() == nil {
 			t.Errorf("%s: want error", c.name)
 		}
+	}
+}
+
+// -in replays a stored container — single file or segmented directory
+// — and yields exactly the slice the live execution yields.
+func TestSliceFromContainer(t *testing.T) {
+	src := writeSrc(t)
+	dir := t.TempDir()
+
+	// Trace once and store the compacted result both ways.
+	prog, err := twpp.CompileMode(fig10, twpp.PerStatement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Trace([]int64{3, -4, 3, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, _ := twpp.Compact(res.WPP)
+	single := filepath.Join(dir, "t.twpp")
+	if err := twpp.WriteFile(single, tw); err != nil {
+		t.Fatal(err)
+	}
+	segDir := filepath.Join(dir, "t.twppd")
+	if err := twpp.CompactSegmented(segDir, tw, twpp.SegmentOptions{SegmentBytes: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, approach := range []string{"3", "inter"} {
+		var live, fromFile, fromDir bytes.Buffer
+		if err := run(src, "", "3,-4,3,-2", "main", 14, "Z", 0, approach, false, &live); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(src, single, "", "main", 14, "Z", 0, approach, false, &fromFile); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(src, segDir, "", "main", 14, "Z", 0, approach, false, &fromDir); err != nil {
+			t.Fatal(err)
+		}
+		if fromFile.String() != live.String() {
+			t.Errorf("approach %s: file replay differs:\n%s\nvs live:\n%s", approach, fromFile.String(), live.String())
+		}
+		if fromDir.String() != live.String() {
+			t.Errorf("approach %s: segmented replay differs:\n%s\nvs live:\n%s", approach, fromDir.String(), live.String())
+		}
+	}
+
+	// -in and -input are mutually exclusive.
+	if err := run(src, single, "1,2", "main", 14, "Z", 0, "3", false, io.Discard); err == nil {
+		t.Error("-in with -input: want usage error")
 	}
 }

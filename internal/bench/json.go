@@ -22,6 +22,11 @@ type JSONReport struct {
 	// ScaleOut, when the run swept the GOMAXPROCS axis (-scale-procs),
 	// is the warm pooled-extraction scale-out curve.
 	ScaleOut *ScaleReport `json:"scale_out,omitempty"`
+	// SegmentScale, when the run swept the segment-count axis
+	// (-segments), is the segmented-container extraction curve:
+	// ns/extract and allocs/op as live segments grow 1 -> 4 -> 16,
+	// pre- and post-merge.
+	SegmentScale *ScaleReport `json:"segment_scale,omitempty"`
 }
 
 // JSONProfile is one benchmark profile's measurements.

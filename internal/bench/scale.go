@@ -34,6 +34,20 @@ type ScaleRun struct {
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	Goroutines   int     `json:"goroutines"`
 
+	// Oversubscribed marks a point forced past NumCPU: its numbers
+	// measure scheduling overhead on shared cores, not scale-out, and
+	// must not be read as a scaling regression. Sweeps only contain
+	// such points when the caller explicitly forced them
+	// (-force-procs); by default the axis is clamped to NumCPU.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
+
+	// Segment-scale fields (zero in GOMAXPROCS sweeps): the live
+	// segment count behind the extraction surface, and whether the
+	// point was measured after folding the container back to one
+	// segment.
+	Segments int  `json:"segments,omitempty"`
+	Merged   bool `json:"merged,omitempty"`
+
 	// Serving-mode fields (zero in pure-extraction sweeps).
 	P50Us         float64 `json:"p50_us,omitempty"`
 	P99Us         float64 `json:"p99_us,omitempty"`
@@ -80,16 +94,46 @@ func ScaleNote() string {
 	return fmt.Sprintf("%d CPUs available", n)
 }
 
+// ClampProcs prepares a GOMAXPROCS axis for an honest sweep: unless
+// force is set, every point past NumCPU collapses to NumCPU (then
+// consecutive duplicates drop), because oversubscribing cores
+// measures scheduler overhead, not scale-out — the misleading-p99
+// failure mode the scale reports used to have. With force the axis
+// passes through unchanged and the oversubscribed points must be
+// marked as such in their runs.
+func ClampProcs(procs []int, force bool) []int {
+	if force {
+		return procs
+	}
+	n := runtime.NumCPU()
+	out := make([]int, 0, len(procs))
+	for _, p := range procs {
+		if p > n {
+			p = n
+		}
+		if len(out) > 0 && out[len(out)-1] == p {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // RunExtractScale sweeps warm pooled extraction (ExtractFunctionInto,
 // decode cache off) over the GOMAXPROCS axis: at each point, procs
 // workers each extract every function of the compacted file at path
 // for iters rounds through a private ExtractBuffer. The warm-up round
 // runs outside the timed window, so the measured region is the
 // steady-state zero-allocation path.
-func RunExtractScale(path string, procs []int, iters int) (*ScaleReport, error) {
+//
+// The axis is clamped to NumCPU unless force is set; forced points
+// past NumCPU are recorded with Oversubscribed so readers can tell
+// scheduling overhead from a scaling regression.
+func RunExtractScale(path string, procs []int, iters int, force bool) (*ScaleReport, error) {
 	if len(procs) == 0 {
 		procs = DefaultScaleProcs
 	}
+	procs = ClampProcs(procs, force)
 	if iters <= 0 {
 		iters = 50
 	}
@@ -111,6 +155,7 @@ func RunExtractScale(path string, procs []int, iters int) (*ScaleReport, error) 
 		if err != nil {
 			return nil, err
 		}
+		run.Oversubscribed = p > rep.NumCPU
 		rep.Runs = append(rep.Runs, *run)
 	}
 	return rep, nil

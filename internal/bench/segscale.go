@@ -1,0 +1,155 @@
+// The segment-scale harness: measures how warm pooled extraction
+// latency behaves as one dataset spreads over a growing number of
+// live segments (1 -> 4 -> 16), and again after the background merger
+// folds each multi-segment container back to one generation. The
+// headline property this records is flat latency — per-function
+// extraction stays within a small factor of the single-segment cost
+// because each segment contributes at most one seek — and a warm
+// allocs/op of zero, the same pooled path budget as single-file
+// extraction.
+
+package bench
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"twpp/internal/segment"
+	"twpp/internal/wppfile"
+)
+
+// DefaultSegmentCounts is the segment-count axis RunSegmentScale
+// sweeps.
+var DefaultSegmentCounts = []int{1, 4, 16}
+
+// RunSegmentScale reads the compacted file at path, seals it into
+// segmented containers of each requested segment count under dir, and
+// measures warm pooled extraction (Set.ExtractFunctionInto through a
+// reused segment.Buffer) at every point. Multi-segment points are
+// measured twice: live, and again after MergeAll folds the container
+// to one segment — so the report shows both the fan-out cost and that
+// merging restores the single-segment baseline.
+func RunSegmentScale(path, dir string, counts []int, iters int) (*ScaleReport, error) {
+	if len(counts) == 0 {
+		counts = DefaultSegmentCounts
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	cf, err := wppfile.OpenCompactedOptions(path, wppfile.OpenOptions{})
+	if err != nil {
+		return nil, err
+	}
+	tw, err := cf.ReadAll()
+	cf.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ScaleReport{Kind: "segments", NumCPU: runtime.NumCPU(), Note: ScaleNote()}
+	for _, n := range counts {
+		segDir := filepath.Join(dir, fmt.Sprintf("segscale-%d", n))
+		if _, err := segment.Write(segDir, tw, segment.WriteOptions{Segments: n}); err != nil {
+			return nil, err
+		}
+		set, err := segment.Open(segDir, wppfile.OpenOptions{})
+		if err != nil {
+			return nil, err
+		}
+		run, err := segmentScalePoint(set, iters)
+		if err != nil {
+			set.Close()
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, *run)
+		if set.SegmentCount() > 1 {
+			mg := segment.NewMerger(set, segment.MergeOptions{})
+			if _, err := mg.MergeAll(context.Background()); err != nil {
+				set.Close()
+				return nil, err
+			}
+			run, err = segmentScalePoint(set, iters)
+			if err != nil {
+				set.Close()
+				return nil, err
+			}
+			run.Merged = true
+			rep.Runs = append(rep.Runs, *run)
+		}
+		set.Close()
+	}
+	return rep, nil
+}
+
+// segmentScalePoint measures one container's warm pooled extraction:
+// a single worker extracting every function for iters rounds through
+// one reused Buffer. The warm-up round (which grows the buffer's
+// arenas and dedup tables to the corpus's largest shapes) runs
+// outside the timed window, so the measured region is the
+// steady-state path.
+func segmentScalePoint(set *segment.Set, iters int) (*ScaleRun, error) {
+	fns := set.Functions()
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("bench: segmented container %s has no functions", set.Dir())
+	}
+	buf := segment.GetBuffer()
+	defer segment.PutBuffer(buf)
+	for _, fn := range fns {
+		if _, err := set.ExtractFunctionInto(fn, buf); err != nil {
+			return nil, err
+		}
+	}
+
+	ops := iters * len(fns)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		for _, fn := range fns {
+			if _, err := set.ExtractFunctionInto(fn, buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	return &ScaleRun{
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      1,
+		Ops:          ops,
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		OpsPerS:      float64(ops) / wall.Seconds(),
+		NsPerExtract: wall.Nanoseconds() / int64(ops),
+		AllocsPerOp:  float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		Goroutines:   runtime.NumGoroutine(),
+		Segments:     set.SegmentCount(),
+	}, nil
+}
+
+// SegmentLatencyRatio is the worst live multi-segment ns/extract over
+// the single-segment baseline; zero when the sweep lacks either. The
+// flat-latency acceptance bar is this ratio staying small (<= 1.25 on
+// quiet hosts).
+func (r *ScaleReport) SegmentLatencyRatio() float64 {
+	var base, worst int64
+	for _, run := range r.Runs {
+		if run.Merged {
+			continue
+		}
+		if run.Segments == 1 && base == 0 {
+			base = run.NsPerExtract
+		}
+		if run.Segments > 1 && run.NsPerExtract > worst {
+			worst = run.NsPerExtract
+		}
+	}
+	if base == 0 || worst == 0 {
+		return 0
+	}
+	return float64(worst) / float64(base)
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestClampProcs(t *testing.T) {
+	n := runtime.NumCPU()
+	clamped := ClampProcs([]int{1, 4, 8}, false)
+	for _, p := range clamped {
+		if p > n {
+			t.Errorf("clamped axis contains %d > NumCPU %d", p, n)
+		}
+	}
+	for i := 1; i < len(clamped); i++ {
+		if clamped[i] <= clamped[i-1] {
+			t.Errorf("clamped axis not strictly increasing: %v", clamped)
+		}
+	}
+	// Forced sweeps pass through unchanged.
+	forced := ClampProcs([]int{1, 4, 8}, true)
+	if len(forced) != 3 || forced[2] != 8 {
+		t.Errorf("forced axis altered: %v", forced)
+	}
+}
+
+func TestRunExtractScaleMarksOversubscription(t *testing.T) {
+	dir := t.TempDir()
+	prof, err := ProfileByName("099.go-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(prof, 0.03, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := runtime.NumCPU() + 1
+	rep, err := RunExtractScale(r.CompPath, []int{1, over}, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("forced sweep has %d runs, want 2", len(rep.Runs))
+	}
+	if rep.Runs[0].Oversubscribed {
+		t.Error("GOMAXPROCS=1 marked oversubscribed")
+	}
+	if !rep.Runs[1].Oversubscribed {
+		t.Errorf("GOMAXPROCS=%d (> NumCPU %d) not marked oversubscribed", over, runtime.NumCPU())
+	}
+
+	// The default (unforced) sweep must contain no oversubscribed
+	// point at all.
+	honest, err := RunExtractScale(r.CompPath, []int{1, over}, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range honest.Runs {
+		if run.Oversubscribed || run.GoMaxProcs > runtime.NumCPU() {
+			t.Errorf("honest sweep ran an oversubscribed point: %+v", run)
+		}
+	}
+}
+
+// The segment sweep is the flat-latency evidence: every point must
+// measure, merged points must be back to one segment, and the warm
+// pooled path must not allocate per op.
+func TestRunSegmentScale(t *testing.T) {
+	dir := t.TempDir()
+	prof, err := ProfileByName("099.go-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(prof, 0.05, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSegmentScale(r.CompPath, dir, []int{1, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 live, 4 live, 4-merged: three runs.
+	if len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3: %+v", len(rep.Runs), rep.Runs)
+	}
+	if rep.Runs[0].Segments != 1 || rep.Runs[0].Merged {
+		t.Errorf("first point should be the live single segment: %+v", rep.Runs[0])
+	}
+	if rep.Runs[1].Segments < 2 || rep.Runs[1].Merged {
+		t.Errorf("second point should be live multi-segment: %+v", rep.Runs[1])
+	}
+	if !rep.Runs[2].Merged || rep.Runs[2].Segments != 1 {
+		t.Errorf("third point should be merged back to one segment: %+v", rep.Runs[2])
+	}
+	for _, run := range rep.Runs {
+		if run.NsPerExtract <= 0 || run.Ops <= 0 {
+			t.Errorf("point %+v has no measurement", run)
+		}
+		// The warm pooled path must stay allocation-free; allow a
+		// trace of runtime noise (timer/GC bookkeeping).
+		if run.AllocsPerOp > 0.5 {
+			t.Errorf("segments=%d merged=%v: %.2f allocs/op, want ~0", run.Segments, run.Merged, run.AllocsPerOp)
+		}
+	}
+	if ratio := rep.SegmentLatencyRatio(); ratio <= 0 {
+		t.Errorf("SegmentLatencyRatio = %.2f, want > 0", ratio)
+	}
+}

@@ -1,0 +1,324 @@
+// Writer: seals a compacted TWPP into one or more small v2 segment
+// files plus a manifest. Functions pack into segments hottest-first;
+// a function whose traces exceed the per-segment budget is split into
+// trace windows across consecutive segments (a trace itself is never
+// split). Because the windows partition each function's unique-trace
+// list in order, the set-merged view concatenates back to exactly the
+// single-file trace order — segmented extraction is byte-identical to
+// the single-file container.
+
+package segment
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/wppfile"
+)
+
+// DefaultSegmentBytes is the per-segment payload budget when
+// WriteOptions leaves both sizing knobs zero.
+const DefaultSegmentBytes = int64(4) << 20
+
+// WriteOptions configures Write and NewWriter.
+type WriteOptions struct {
+	// SegmentBytes is the target encoded payload per segment; a
+	// segment seals once its block bytes reach it. 0 selects
+	// DefaultSegmentBytes (unless Segments is set). The floor is one
+	// trace per segment: a single trace larger than the budget still
+	// seals as one oversized segment.
+	SegmentBytes int64
+	// Segments, when > 0, overrides SegmentBytes with
+	// ceil(total-payload / Segments): "aim for about this many
+	// segments" — the benchmark knob.
+	Segments int
+	// Workers sizes each segment encode's worker pool (0 selects
+	// GOMAXPROCS).
+	Workers int
+}
+
+// Writer accumulates sessions into a new segmented container
+// directory. Add seals each TWPP into one or more segments; Finish
+// writes the generation-1 manifest, the commit point — a crash before
+// Finish leaves no manifest and therefore no container.
+//
+// Only the first Add's dynamic call graph is retained (flagged
+// FlagDCG); its trace indices are valid set-global indices because the
+// first session's traces occupy the head of every merged per-function
+// trace list.
+type Writer struct {
+	dir      string
+	opts     WriteOptions
+	entries  []Entry
+	names    []string
+	ordinal  int
+	session  uint64
+	haveDCG  bool
+	finished bool
+}
+
+// NewWriter creates dir (which must not already contain a manifest)
+// and returns a Writer sealing into it.
+func NewWriter(dir string, opts WriteOptions) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return nil, fmt.Errorf("segment: %s already contains a manifest", dir)
+	}
+	return &Writer{dir: dir, opts: opts}, nil
+}
+
+// Add seals t into one or more v2 segment files. The first Add's call
+// graph becomes the container's DCG.
+func (w *Writer) Add(t *core.TWPP) error {
+	return w.AddContext(context.Background(), t)
+}
+
+// AddContext is Add with cooperative cancellation between segment
+// seals.
+func (w *Writer) AddContext(ctx context.Context, t *core.TWPP) error {
+	if w.finished {
+		return fmt.Errorf("segment: writer already finished")
+	}
+	if len(w.names) == 0 {
+		w.names = t.FuncNames
+	}
+	// One session per Add: all of this TWPP's segments share it, so a
+	// function split across them merges by disjoint concatenation.
+	w.session++
+	plans := planSegments(t, w.opts.resolveBudget(t))
+	for i, plan := range plans {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		carryDCG := !w.haveDCG && i == 0 && t.Root != nil
+		seg := buildSegmentTWPP(t, plan, carryDCG)
+		entry, err := w.seal(seg, carryDCG)
+		if err != nil {
+			return err
+		}
+		w.entries = append(w.entries, entry)
+		if carryDCG {
+			w.haveDCG = true
+		}
+	}
+	return nil
+}
+
+// Finish writes the manifest, committing the container at
+// generation 1.
+func (w *Writer) Finish() (*Manifest, error) {
+	if w.finished {
+		return nil, fmt.Errorf("segment: writer already finished")
+	}
+	if len(w.entries) == 0 {
+		return nil, fmt.Errorf("segment: nothing sealed")
+	}
+	w.finished = true
+	m := &Manifest{Generation: 1, Segments: w.entries}
+	if err := WriteManifest(w.dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// seal encodes one segment TWPP to its canonical file name and returns
+// its manifest entry.
+func (w *Writer) seal(t *core.TWPP, carryDCG bool) (Entry, error) {
+	data, err := wppfile.EncodeCompactedFormat(t, w.opts.Workers, wppfile.FormatV2)
+	if err != nil {
+		return Entry{}, err
+	}
+	hash, ok := wppfile.ContentHashBytes(data)
+	if !ok {
+		return Entry{}, fmt.Errorf("segment: encoded segment has no content hash")
+	}
+	name := segmentName(1, w.ordinal)
+	w.ordinal++
+	if err := os.WriteFile(filepath.Join(w.dir, name), data, 0o644); err != nil {
+		return Entry{}, err
+	}
+	e := Entry{Name: name, Size: int64(len(data)), Hash: hash, Session: w.session}
+	if carryDCG {
+		e.Flags |= FlagDCG
+	}
+	return e, nil
+}
+
+// Write seals t into dir as a new segmented container: NewWriter +
+// Add + Finish.
+func Write(dir string, t *core.TWPP, opts WriteOptions) (*Manifest, error) {
+	w, err := NewWriter(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Add(t); err != nil {
+		return nil, err
+	}
+	return w.Finish()
+}
+
+// resolveBudget turns the sizing knobs into a concrete per-segment
+// byte budget.
+func (o WriteOptions) resolveBudget(t *core.TWPP) int64 {
+	if o.Segments > 0 {
+		total := int64(0)
+		var scratch []byte
+		for _, fn := range wppfile.HotOrder(t) {
+			ft := &t.Funcs[fn]
+			for _, d := range ft.Dicts {
+				scratch = wppfile.AppendDictionary(scratch[:0], d)
+				total += int64(len(scratch))
+			}
+			for i, tr := range ft.Traces {
+				scratch = wppfile.AppendTraceRecord(scratch[:0], ft.DictOf[i], tr)
+				total += int64(len(scratch))
+			}
+		}
+		budget := (total + int64(o.Segments) - 1) / int64(o.Segments)
+		if budget < 1 {
+			budget = 1
+		}
+		return budget
+	}
+	if o.SegmentBytes > 0 {
+		return o.SegmentBytes
+	}
+	return DefaultSegmentBytes
+}
+
+// window is one function's contiguous trace range [Lo, Hi) assigned to
+// a segment, with its apportioned call count.
+type window struct {
+	Fn        cfg.FuncID
+	Lo, Hi    int
+	CallCount int
+}
+
+// planSegments packs t's functions (hottest first, traces in order)
+// into segments of roughly budget encoded-payload bytes each. The
+// total call count of a split function is apportioned so every window
+// gets at least 1 (the encoder drops zero-call functions) and the
+// windows sum to the original: continuation windows get 1 call each,
+// the first window the remainder. CallCount >= unique traces >=
+// windows, so the remainder is always positive.
+func planSegments(t *core.TWPP, budget int64) [][]window {
+	var (
+		plans   [][]window
+		cur     []window
+		curSize int64
+		scratch []byte
+	)
+	seal := func() {
+		if len(cur) > 0 {
+			plans = append(plans, cur)
+			cur, curSize = nil, 0
+		}
+	}
+	for _, fn := range wppfile.HotOrder(t) {
+		ft := &t.Funcs[fn]
+		dictCounted := make(map[int]bool, len(ft.Dicts))
+		open := false
+		var wlo int
+		closeWindow := func(hi int) {
+			if !open {
+				return
+			}
+			cur = append(cur, window{Fn: fn, Lo: wlo, Hi: hi})
+			open = false
+		}
+		for i, tr := range ft.Traces {
+			cost := int64(0)
+			if di := ft.DictOf[i]; !dictCounted[di] {
+				scratch = wppfile.AppendDictionary(scratch[:0], ft.Dicts[di])
+				cost += int64(len(scratch))
+				dictCounted[di] = true
+			}
+			scratch = wppfile.AppendTraceRecord(scratch[:0], ft.DictOf[i], tr)
+			cost += int64(len(scratch))
+			// Seal before adding when the segment already has content
+			// and this trace would push it past the budget.
+			if curSize > 0 && curSize+cost > budget {
+				closeWindow(i)
+				seal()
+				// A dictionary shared across the split is re-emitted in
+				// the new segment's window.
+				clear(dictCounted)
+				dictCounted[ft.DictOf[i]] = true
+			}
+			if !open {
+				open, wlo = true, i
+			}
+			curSize += cost
+		}
+		closeWindow(len(ft.Traces))
+	}
+	seal()
+
+	// Apportion call counts: count each function's windows, then give
+	// continuation windows 1 call each and the first window the
+	// remainder.
+	nwin := make(map[cfg.FuncID]int)
+	for _, p := range plans {
+		for _, w := range p {
+			nwin[w.Fn]++
+		}
+	}
+	firstSeen := make(map[cfg.FuncID]bool, len(nwin))
+	for pi := range plans {
+		for wi := range plans[pi] {
+			w := &plans[pi][wi]
+			if !firstSeen[w.Fn] {
+				firstSeen[w.Fn] = true
+				w.CallCount = t.Funcs[w.Fn].CallCount - (nwin[w.Fn] - 1)
+			} else {
+				w.CallCount = 1
+			}
+		}
+	}
+	return plans
+}
+
+// buildSegmentTWPP materializes one planned segment as a standalone
+// TWPP: full name table, the windows' trace slices, per-window
+// dictionaries deduplicated in first-use order, and the DCG only when
+// this segment carries it.
+func buildSegmentTWPP(t *core.TWPP, plan []window, carryDCG bool) *core.TWPP {
+	seg := &core.TWPP{
+		FuncNames: t.FuncNames,
+		Funcs:     make([]core.FunctionTWPP, len(t.Funcs)),
+	}
+	for f := range seg.Funcs {
+		seg.Funcs[f].Fn = cfg.FuncID(f)
+	}
+	if carryDCG {
+		seg.Root = t.Root
+	}
+	for _, w := range plan {
+		src := &t.Funcs[w.Fn]
+		dst := &seg.Funcs[w.Fn]
+		dst.CallCount = w.CallCount
+		dst.Traces = src.Traces[w.Lo:w.Hi:w.Hi]
+		dst.DictOf = make([]int, 0, w.Hi-w.Lo)
+		// Window-local dictionary list in first-use order. The source
+		// Dicts are already content-unique, so index identity is
+		// content identity.
+		remap := make(map[int]int)
+		for i := w.Lo; i < w.Hi; i++ {
+			di := src.DictOf[i]
+			ni, ok := remap[di]
+			if !ok {
+				ni = len(dst.Dicts)
+				remap[di] = ni
+				dst.Dicts = append(dst.Dicts, src.Dicts[di])
+			}
+			dst.DictOf = append(dst.DictOf, ni)
+		}
+	}
+	return seg
+}

@@ -9,18 +9,24 @@ import (
 
 	"twpp/internal/cfg"
 	"twpp/internal/obs"
+	"twpp/internal/segment"
 	"twpp/internal/wppfile"
 )
 
-// Catalog maps mount names to opened compacted files and carries the
+// Catalog maps mount names to opened containers and carries the
 // per-mount serving metrics. It is the routing table behind both the
 // legacy ?file= selector and the /v1/{mount}/... path namespace: the
 // server resolves a request to a *Mount here, then serves entirely
-// from that mount's file.
+// from that mount's container.
 //
-// Mounting is not concurrent with serving (mount everything, then
-// serve), but the read side is guarded anyway so a future hot-mount
-// path stays a catalog-local change.
+// Adding and removing mounts is not concurrent with serving (mount
+// everything, then serve), but a mounted container's CONTENT may
+// change while requests are in flight: a segmented mount's background
+// merger swaps manifest generations underneath the server. The
+// container handles that atomically on its side; the catalog's part of
+// the contract is that nothing here caches derived state — ETags are
+// computed from the live content hash per request, so a swap
+// invalidates caches on the next request rather than serving a mix.
 type Catalog struct {
 	mu     sync.RWMutex
 	mounts map[string]*Mount
@@ -50,15 +56,12 @@ type CatalogOptions struct {
 	Instrument *wppfile.Instrument
 }
 
-// Mount is one named, opened compacted file plus its metrics handles.
+// Mount is one named, opened container (a single compacted file or a
+// segmented directory) plus its metrics handles.
 type Mount struct {
 	name string
 	path string
-	file *wppfile.CompactedFile
-	// etag is the strong HTTP entity tag derived from the file's
-	// content hash (the v2 trailer checksums); empty for v1 containers,
-	// which have no checksums to derive one from.
-	etag string
+	file wppfile.Container
 
 	mRequests    *obs.Counter
 	mErrors      *obs.Counter
@@ -76,12 +79,20 @@ func (m *Mount) Name() string { return m.name }
 // Path returns the file path the mount was opened from.
 func (m *Mount) Path() string { return m.path }
 
-// File returns the mount's opened compacted file.
-func (m *Mount) File() *wppfile.CompactedFile { return m.file }
+// File returns the mount's opened container.
+func (m *Mount) File() wppfile.Container { return m.file }
 
-// ETag returns the mount's entity tag, or "" for containers without a
-// content hash (v1).
-func (m *Mount) ETag() string { return m.etag }
+// ETag returns the mount's current entity tag, or "" for containers
+// without a content hash (v1). It is derived from the live content
+// hash on every call: for a segmented mount the tag changes the moment
+// a background merge swaps in a new manifest generation, which is what
+// invalidates If-None-Match revalidation and the response cache.
+func (m *Mount) ETag() string {
+	if hash, ok := m.file.ContentHash(); ok {
+		return `"` + strconv.FormatUint(hash, 16) + `"`
+	}
+	return ""
+}
 
 // NewCatalog builds an empty catalog.
 func NewCatalog(opts CatalogOptions) *Catalog {
@@ -159,14 +170,17 @@ func (c *Catalog) Mount(name, path string) error {
 			}
 		},
 	}
-	f, err := wppfile.OpenCompactedOptions(path, o)
+	var f wppfile.Container
+	var err error
+	if segment.IsSegmented(path) {
+		f, err = segment.Open(path, o)
+	} else {
+		f, err = wppfile.OpenCompactedOptions(path, o)
+	}
 	if err != nil {
 		return err
 	}
 	m.file = f
-	if hash, ok := f.ContentHash(); ok {
-		m.etag = `"` + strconv.FormatUint(hash, 16) + `"`
-	}
 	// Per-mount decode-cache shard visibility: one hits/misses gauge
 	// pair per shard, read from the cache's shard-local counters at
 	// scrape time.

@@ -168,8 +168,8 @@ func (s *Server) resolveMount(r *http.Request) (*Mount, error) {
 }
 
 func (s *Server) funcName(m *Mount, fn cfg.FuncID) string {
-	if int(fn) < len(m.file.FuncNames) {
-		return m.file.FuncNames[fn]
+	if names := m.file.Names(); int(fn) < len(names) {
+		return names[fn]
 	}
 	return fmt.Sprintf("func%d", fn)
 }

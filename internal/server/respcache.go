@@ -196,7 +196,7 @@ func (s *Server) cached(h handlerFunc) handlerFunc {
 		if err != nil {
 			return err
 		}
-		etag := m.etag
+		etag := m.ETag()
 		if etag == "" {
 			return h(w, r)
 		}

@@ -1,0 +1,27 @@
+package testkit
+
+import (
+	"fmt"
+	"testing"
+
+	"twpp/internal/storage"
+)
+
+// Every generator shape must survive segmentation identically over
+// every storage backend: segmented extraction (allocating and pooled),
+// ReadAll, and the fully-merged container must all reproduce the
+// single-file compaction byte for byte.
+func TestSegmentedParityMatrix(t *testing.T) {
+	corpus := Corpus(7)
+	for _, kind := range []storage.Kind{storage.KindFile, storage.KindMmap, storage.KindMemory} {
+		for _, shape := range Shapes() {
+			w := corpus[shape]
+			t.Run(fmt.Sprintf("%s/%s", kind, shape), func(t *testing.T) {
+				t.Parallel()
+				if err := CheckSegmentedParity(w, kind); err != nil {
+					t.Errorf("CheckSegmentedParity: %v", err)
+				}
+			})
+		}
+	}
+}

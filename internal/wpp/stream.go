@@ -71,7 +71,7 @@ type uniqueTrace struct {
 
 // streamFunc is the per-function intern state.
 type streamFunc struct {
-	in        *interner
+	in        *Interner
 	uniq      []uniqueTrace
 	callCount int
 }

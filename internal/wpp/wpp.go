@@ -173,7 +173,7 @@ func CompactWorkersCtx(ctx context.Context, w *trace.RawWPP, workers int) (*Comp
 	// Stage 1+2: partition per function and deduplicate original
 	// traces. seen[f] interns trace contents by hash; unique indices
 	// point into a per-function intermediate list of original traces.
-	seen := make([]*interner, numFuncs)
+	seen := make([]*Interner, numFuncs)
 	orig := make([][]PathTrace, numFuncs)
 	for f := range seen {
 		seen[f] = newInterner()

@@ -215,33 +215,49 @@ func encodeFunctionBlock(buf []byte, ft *core.FunctionTWPP) []byte {
 	buf = encoding.PutUvarint(buf, uint64(ft.CallCount))
 	buf = encoding.PutUvarint(buf, uint64(len(ft.Dicts)))
 	for _, d := range ft.Dicts {
-		heads := make([]cfg.BlockID, 0, len(d))
-		for h := range d {
-			heads = append(heads, h)
-		}
-		sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
-		buf = encoding.PutUvarint(buf, uint64(len(heads)))
-		for _, h := range heads {
-			chain := d[h]
-			buf = encoding.PutUvarint(buf, uint64(h))
-			buf = encoding.PutUvarint(buf, uint64(len(chain)))
-			for _, id := range chain {
-				buf = encoding.PutUvarint(buf, uint64(id))
-			}
-		}
+		buf = AppendDictionary(buf, d)
 	}
 	buf = encoding.PutUvarint(buf, uint64(len(ft.Traces)))
 	for i, tr := range ft.Traces {
-		buf = encoding.PutUvarint(buf, uint64(ft.DictOf[i]))
-		buf = encoding.PutUvarint(buf, uint64(tr.Len))
-		buf = encoding.PutUvarint(buf, uint64(len(tr.Blocks)))
-		for _, bt := range tr.Blocks {
-			buf = encoding.PutUvarint(buf, uint64(bt.Block))
-			signed := bt.Times.EncodeSigned(nil)
-			buf = encoding.PutUvarint(buf, uint64(len(signed)))
-			for _, v := range signed {
-				buf = encoding.PutVarint(buf, v)
-			}
+		buf = AppendTraceRecord(buf, ft.DictOf[i], tr)
+	}
+	return buf
+}
+
+// AppendDictionary appends one dictionary's canonical encoding (chains
+// in ascending head order). The segment writer uses it to size
+// trace-window splits with the exact bytes the block encoder emits.
+func AppendDictionary(buf []byte, d wpp.Dictionary) []byte {
+	heads := make([]cfg.BlockID, 0, len(d))
+	for h := range d {
+		heads = append(heads, h)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	buf = encoding.PutUvarint(buf, uint64(len(heads)))
+	for _, h := range heads {
+		chain := d[h]
+		buf = encoding.PutUvarint(buf, uint64(h))
+		buf = encoding.PutUvarint(buf, uint64(len(chain)))
+		for _, id := range chain {
+			buf = encoding.PutUvarint(buf, uint64(id))
+		}
+	}
+	return buf
+}
+
+// AppendTraceRecord appends one TWPP trace record (dictionary index,
+// original length, per-block timestamp series) — the per-trace unit of
+// a function block.
+func AppendTraceRecord(buf []byte, dictIdx int, tr *core.Trace) []byte {
+	buf = encoding.PutUvarint(buf, uint64(dictIdx))
+	buf = encoding.PutUvarint(buf, uint64(tr.Len))
+	buf = encoding.PutUvarint(buf, uint64(len(tr.Blocks)))
+	for _, bt := range tr.Blocks {
+		buf = encoding.PutUvarint(buf, uint64(bt.Block))
+		signed := bt.Times.EncodeSigned(nil)
+		buf = encoding.PutUvarint(buf, uint64(len(signed)))
+		for _, v := range signed {
+			buf = encoding.PutVarint(buf, v)
 		}
 	}
 	return buf
@@ -449,3 +465,10 @@ func runJobs(n, workers int, fn func(i int)) {
 	close(jobs)
 	wg.Wait()
 }
+
+// HotOrder is the exported form of hotOrder: the called functions
+// hottest-first (call count descending, id ascending), the canonical
+// on-disk block order. The segment writer and merger use it so every
+// sealed segment ranks its own blocks exactly as a single-file encode
+// would.
+func HotOrder(t *core.TWPP) []cfg.FuncID { return hotOrder(t) }

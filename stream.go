@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"twpp/internal/core"
+	"twpp/internal/segment"
 	"twpp/internal/wppfile"
 )
 
@@ -61,6 +62,44 @@ func StreamCompactContext(ctx context.Context, r io.Reader, w io.Writer, opts Co
 		return nil, err
 	}
 	return &StreamResult{Stats: stats, TraceBytes: traceB, DictBytes: dictB, BytesWritten: n}, nil
+}
+
+// StreamCompactSegmentedFileContext runs the streaming pipeline but
+// seals the compacted result into a segmented container directory
+// instead of one file: the ingestion is the same bounded-memory
+// replay, and the flushed compaction feeds segment sealing directly.
+// BytesWritten totals the sealed segment files.
+func StreamCompactSegmentedFileContext(ctx context.Context, inPath, dir string, segOpts SegmentOptions, opts CompactOptions) (*StreamResult, error) {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	rr, err := wppfile.NewRawStreamReader(in, streamSize(in))
+	if err != nil {
+		return nil, err
+	}
+	s := core.NewStreamCompactor(rr.Names())
+	if err := rr.ReplayCtx(ctx, s); err != nil {
+		return nil, err
+	}
+	tw, stats, err := s.FinishCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	traceB, dictB := tw.SizeStats()
+	if segOpts.Workers == 0 {
+		segOpts.Workers = opts.Workers
+	}
+	man, err := segment.Write(dir, tw, segOpts)
+	if err != nil {
+		return nil, err
+	}
+	res := &StreamResult{Stats: stats, TraceBytes: traceB, DictBytes: dictB}
+	for _, e := range man.Segments {
+		res.BytesWritten += e.Size
+	}
+	return res, nil
 }
 
 // StreamCompactFile is StreamCompact over named files, buffering the

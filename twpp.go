@@ -40,6 +40,7 @@ import (
 	"twpp/internal/encoding"
 	"twpp/internal/interp"
 	"twpp/internal/minilang"
+	"twpp/internal/segment"
 	"twpp/internal/sequitur"
 	"twpp/internal/storage"
 	"twpp/internal/trace"
@@ -335,6 +336,63 @@ var ErrTruncated = encoding.ErrTruncated
 // returned File is safe for concurrent use; with the cache enabled,
 // extracted blocks are shared and must be treated as read-only.
 func OpenFileOpts(path string, opts OpenOptions) (*File, error) {
+	return wppfile.OpenCompactedOptions(path, opts)
+}
+
+// Container is the read surface shared by a single compacted file
+// (*File) and a segmented container (*SegmentedFile): per-function
+// extraction, the DCG, section sizes, and cache statistics, agnostic
+// of the on-disk layout. OpenContainer returns one.
+type Container = wppfile.Container
+
+// SegmentedFile is an opened segmented container: a directory holding
+// a manifest plus sealed v2 segment files. Queries merge per-segment
+// results transparently; a background SegmentMerger can fold segments
+// underneath concurrent readers without blocking them.
+type SegmentedFile = segment.Set
+
+// SegmentOptions sizes the segments CompactSegmented seals.
+type SegmentOptions = segment.WriteOptions
+
+// SegmentMergeOptions configures NewSegmentMerger.
+type SegmentMergeOptions = segment.MergeOptions
+
+// SegmentMerger folds adjacent small segments into larger ones at the
+// next manifest generation, atomically and concurrently with readers.
+type SegmentMerger = segment.Merger
+
+// CompactSegmented seals t into dir as a new segmented container:
+// hottest functions pack first, functions larger than the per-segment
+// budget split into trace windows, and the manifest commits the
+// container atomically.
+func CompactSegmented(dir string, t *TWPP, opts SegmentOptions) error {
+	_, err := segment.Write(dir, t, opts)
+	return err
+}
+
+// OpenSegmented opens a segmented container directory.
+func OpenSegmented(dir string, opts OpenOptions) (*SegmentedFile, error) {
+	return segment.Open(dir, opts)
+}
+
+// NewSegmentMerger returns a Merger folding s's segments in the
+// background; see SegmentMerger.MergeOnce and Run.
+func NewSegmentMerger(s *SegmentedFile, opts SegmentMergeOptions) *SegmentMerger {
+	return segment.NewMerger(s, opts)
+}
+
+// IsSegmented reports whether path is a segmented-container directory.
+func IsSegmented(path string) bool {
+	return segment.IsSegmented(path)
+}
+
+// OpenContainer opens path as whichever container kind it is: a
+// directory with a manifest opens as a segmented container, anything
+// else as a single compacted file.
+func OpenContainer(path string, opts OpenOptions) (Container, error) {
+	if segment.IsSegmented(path) {
+		return segment.Open(path, opts)
+	}
 	return wppfile.OpenCompactedOptions(path, opts)
 }
 
