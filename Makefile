@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap bench-scale bench-scale-short bench-segments serve-test fuzz-seed ci
+.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap bench-scale bench-scale-short bench-segments bench-ingest serve-test ingest-test fuzz-seed ci
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,20 @@ serve-test:
 	$(GO) test -race ./internal/server/ ./internal/obs/ ./cmd/twpp-serve/
 	$(GO) test -run xxx -bench ServeExtract -benchtime 1x ./internal/server/
 
+# Ingestion-layer gate: the write-path test suite — the ingest parity
+# oracle over every generator shape, the 16-producer soak with
+# kill-and-reconnect, the wire-frame corruption sweep, and the
+# end-to-end serve parity acceptance — under the race detector.
+ingest-test:
+	$(GO) test -race ./internal/ingest/ ./cmd/twpp-ingest/
+
+# Ingest throughput snapshot (BENCH_*_ingest.json trajectory format):
+# a 16-producer fleet over real sockets — events/s, seal latency from
+# the server's histogram, and server-side peak heap.
+bench-ingest:
+	INGEST_BENCH_OUT=$(CURDIR)/BENCH_$(shell date +%Y%m%d)_ingest.json \
+		$(GO) test -run TestWriteIngestBenchJSON -v ./internal/ingest/
+
 # Serving throughput/latency snapshot (BENCH_*_serve.json trajectory
 # format): the 16-client mixed workload over a real listener.
 bench-serve:
@@ -126,5 +140,6 @@ fuzz-seed:
 	$(GO) test -run 'FuzzDecodeCompacted|FuzzStreamRoundTrip' ./internal/wppfile/
 	$(GO) test -run 'FuzzUvarintBatchParity' ./internal/encoding/
 	$(GO) test -run 'FuzzManifestDecode' ./internal/segment/
+	$(GO) test -run 'FuzzIngestFrame' ./internal/ingest/
 
-ci: lint vuln build test race serve-test fuzz-seed cover bench-mem bench-mmap bench-scale-short
+ci: lint vuln build test race serve-test ingest-test fuzz-seed cover bench-mem bench-mmap bench-scale-short

@@ -1,0 +1,204 @@
+// Command twpp-ingest is the write-side network service: a long-lived
+// server that accepts WPP event streams from many concurrent
+// producers, compacts each session online in bounded memory, and
+// seals finished sessions into segmented v2 containers that are
+// queryable seconds later.
+//
+// Usage:
+//
+//	twpp-ingest -dir traces/ [-addr :7071] [-http :7072]
+//	            [-serve-addr :7070] [-max-sessions 64]
+//	            [-idle-timeout 30s] [-max-frame 1048576]
+//	            [-max-session-bytes 1073741824] [-segment-bytes N]
+//	            [-j workers] [-drain 5s] [-quiet]
+//
+// Producers speak a length-prefixed frame protocol over TCP at -addr
+// (HELLO declaring a mount name and function table, EVENTS frames of
+// uvarint WPP symbols, FINISH; the server answers one RESULT), or
+// POST a complete raw WPP file to -http at /v1/ingest/{mount}. Each
+// mount seals into <dir>/<mount>.twppd — a standard segmented
+// container any twpp tool reads.
+//
+// With -serve-addr set, a colocated twpp-serve query plane runs in
+// the same process: every sealed session is mounted (or refreshed)
+// immediately, closing the generate → ingest → seal → query loop with
+// no restart. A remote twpp-serve pointed at the same directory picks
+// sessions up via SIGHUP or POST /refresh instead.
+//
+// The server drains gracefully on SIGINT/SIGTERM: listeners close,
+// in-flight sessions finish (up to -drain), then the process exits.
+// Malformed frames, unbalanced streams, and oversized sessions get
+// structured RESULT codes mirroring the CLI exit codes — a hostile
+// producer is rejected, never crashes the server.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"twpp/internal/cli"
+	"twpp/internal/ingest"
+	"twpp/internal/segment"
+	"twpp/internal/server"
+)
+
+// ingestConfig carries the validated flag values newServers consumes.
+type ingestConfig struct {
+	dir             string
+	maxSessions     int
+	idleTimeout     time.Duration
+	maxFrame        int
+	maxSessionBytes int64
+	segmentBytes    int64
+	workers         int
+	serveAddr       string
+	quiet           bool
+}
+
+func main() {
+	var (
+		c        ingestConfig
+		addr     = flag.String("addr", ":7071", "TCP ingest listen address")
+		httpAddr = flag.String("http", "", "HTTP ingest listen address (POST /v1/ingest/{mount}; empty disables)")
+		drain    = flag.Duration("drain", ingest.DefaultDrainTimeout, "graceful shutdown grace period")
+	)
+	flag.StringVar(&c.dir, "dir", "", "directory sealed containers are written under (required)")
+	flag.IntVar(&c.maxSessions, "max-sessions", ingest.DefaultMaxSessions, "concurrent producer sessions before busy rejection")
+	flag.DurationVar(&c.idleTimeout, "idle-timeout", ingest.DefaultIdleTimeout, "per-frame read deadline; a silent balanced session seals, an unbalanced one is rejected")
+	flag.IntVar(&c.maxFrame, "max-frame", ingest.DefaultMaxFrameBytes, "largest accepted frame payload in bytes")
+	flag.Int64Var(&c.maxSessionBytes, "max-session-bytes", ingest.DefaultMaxSessionBytes, "largest accepted per-session event payload total (negative disables)")
+	flag.Int64Var(&c.segmentBytes, "segment-bytes", 0, "per-segment payload budget for sealed sessions (0 selects the default)")
+	flag.IntVar(&c.workers, "j", 0, "seal encode workers (0 selects GOMAXPROCS)")
+	flag.StringVar(&c.serveAddr, "serve-addr", "", "colocated query-plane listen address (empty disables)")
+	flag.BoolVar(&c.quiet, "quiet", false, "suppress per-session log lines")
+	flag.Parse()
+	cli.Exit("twpp-ingest", run(c, *addr, *httpAddr, *drain))
+}
+
+// newServers validates flags and builds the ingest server plus the
+// optional colocated query server. Split from run so tests can drive
+// the full construction path without listeners.
+func newServers(c ingestConfig) (*ingest.Server, *server.Server, error) {
+	if c.dir == "" {
+		return nil, nil, cli.Usagef("missing -dir")
+	}
+	if c.maxSessions < 1 {
+		return nil, nil, cli.Usagef("-max-sessions must be >= 1")
+	}
+	opts := ingest.Options{
+		Dir:             c.dir,
+		MaxSessions:     c.maxSessions,
+		IdleTimeout:     c.idleTimeout,
+		MaxFrameBytes:   c.maxFrame,
+		MaxSessionBytes: c.maxSessionBytes,
+		SegmentBytes:    c.segmentBytes,
+		Workers:         c.workers,
+	}
+	if !c.quiet {
+		opts.LogWriter = os.Stderr
+	}
+
+	var qs *server.Server
+	if c.serveAddr != "" {
+		sopts := server.Options{}
+		if !c.quiet {
+			sopts.LogWriter = os.Stderr
+		}
+		qs = server.New(sopts)
+		// Every seal mounts (or refreshes) the container in the
+		// colocated catalog, making the session queryable immediately.
+		cat := qs.Catalog()
+		opts.OnSeal = func(mount, dir string, _ *segment.Manifest) {
+			if err := cat.Ensure(mount, dir); err != nil {
+				fmt.Fprintf(os.Stderr, "twpp-ingest: mount %q: %v\n", mount, err)
+			}
+		}
+		// The shared registry folds the ingest metrics into the query
+		// plane's /metrics.
+		opts.Registry = qs.Registry()
+	}
+	is, err := ingest.NewServer(opts)
+	if err != nil {
+		if qs != nil {
+			qs.Close()
+		}
+		return nil, nil, err
+	}
+	return is, qs, nil
+}
+
+func run(c ingestConfig, addr, httpAddr string, drain time.Duration) error {
+	is, qs, err := newServers(c)
+	if err != nil {
+		return err
+	}
+	if qs != nil {
+		defer qs.Close()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 3)
+	go func() {
+		fmt.Fprintf(os.Stderr, "twpp-ingest: TCP ingest on %s -> %s\n", addr, c.dir)
+		errc <- is.ListenAndServe(addr)
+	}()
+
+	var hs, query *http.Server
+	if httpAddr != "" {
+		hs = &http.Server{Addr: httpAddr, Handler: is.Handler()}
+		go func() {
+			fmt.Fprintf(os.Stderr, "twpp-ingest: HTTP ingest on %s\n", httpAddr)
+			if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errc <- err
+			}
+		}()
+	}
+	if qs != nil {
+		query = &http.Server{Addr: c.serveAddr, Handler: qs.Handler()}
+		go func() {
+			fmt.Fprintf(os.Stderr, "twpp-ingest: query plane on %s\n", c.serveAddr)
+			if err := query.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errc <- err
+			}
+		}()
+	}
+
+	select {
+	case err := <-errc:
+		is.Close()
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(os.Stderr, "twpp-ingest: shutting down (drain %s)\n", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		var first error
+		if hs != nil {
+			if err := hs.Shutdown(sctx); err != nil {
+				hs.Close()
+				first = err
+			}
+		}
+		if query != nil {
+			if err := query.Shutdown(sctx); err != nil {
+				query.Close()
+				if first == nil {
+					first = err
+				}
+			}
+		}
+		if err := is.Close(); err != nil && first == nil {
+			first = err
+		}
+		return first
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"twpp/internal/cli"
+	"twpp/internal/testkit"
+)
+
+func TestNewServersUsageErrors(t *testing.T) {
+	cases := []ingestConfig{
+		{},                                      // missing -dir
+		{dir: "x", maxSessions: 0},              // bad -max-sessions
+		{dir: "x", maxSessions: -1, workers: 1}, // bad -max-sessions
+	}
+	for i, c := range cases {
+		_, _, err := newServers(c)
+		if err == nil {
+			t.Fatalf("case %d: no error", i)
+		}
+		if cli.ExitCode(err) != cli.ExitUsage {
+			t.Errorf("case %d: exit code %d, want %d (usage): %v", i, cli.ExitCode(err), cli.ExitUsage, err)
+		}
+	}
+}
+
+// The colocated loop: a producer streams a session over TCP, the seal
+// hook mounts it in the same process's query plane, and the query
+// plane serves it immediately — then a second session into the same
+// mount becomes visible after its seal refreshes the mount, no
+// restart anywhere.
+func TestColocatedServeLoop(t *testing.T) {
+	c := ingestConfig{
+		dir:         t.TempDir(),
+		maxSessions: 8,
+		idleTimeout: 5 * time.Second,
+		serveAddr:   "127.0.0.1:0", // presence enables the query plane
+		quiet:       true,
+		workers:     1,
+	}
+	is, qs, err := newServers(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- is.Serve(ln) }()
+	defer func() {
+		if err := is.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	// The query plane is driven in-process; its listener is irrelevant.
+	query := httptest.NewServer(qs.Handler())
+	defer query.Close()
+
+	w := testkit.Generate(testkit.Config{Shape: testkit.Periodic, Seed: 9})
+	p := &testkit.Producer{Addr: ln.Addr().String(), Mount: "live", Names: w.FuncNames, Events: w.Linear()}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("session rejected: %s (%s)", res.Code, res.Detail)
+	}
+
+	getStats := func() StatsProbe {
+		resp, err := http.Get(query.URL + "/v1/live/stats/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats status %d", resp.StatusCode)
+		}
+		var sp StatsProbe
+		if err := json.NewDecoder(resp.Body).Decode(&sp); err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	first := getStats()
+	if first.Calls == 0 {
+		t.Fatal("colocated mount served zero calls")
+	}
+
+	// Second session, same mount: the seal hook refreshes in place.
+	if res, err = p.Run(); err != nil || !res.OK() {
+		t.Fatalf("second session: err=%v res=%+v", err, res)
+	}
+	second := getStats()
+	if second.Calls != 2*first.Calls {
+		t.Fatalf("calls after second session = %d, want %d", second.Calls, 2*first.Calls)
+	}
+
+	// The shared registry surfaces ingest metrics on the query plane.
+	resp, err := http.Get(query.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [1 << 16]byte
+	n, _ := resp.Body.Read(buf[:])
+	if got := string(buf[:n]); !containsLine(got, "twpp_ingest_sessions_sealed_total 2") {
+		t.Errorf("metrics missing sealed counter:\n%s", got)
+	}
+}
+
+// StatsProbe picks the fields the test asserts from a stats response.
+type StatsProbe struct {
+	Calls int `json:"calls"`
+}
+
+func containsLine(s, line string) bool {
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		if s[:i] == line {
+			return true
+		}
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return false
+}

@@ -26,6 +26,8 @@
 //	/query?func=F&block=B&gen=ids&kill=ids[&trace=N]
 //	                      profile-limited GEN-KILL query
 //	/v1/{mount}/...       any of the five query routes, mount in path
+//	/v1/{mount}/refresh   (POST) re-read a segmented mount's manifest
+//	/refresh              (POST) refresh every mount
 //	/metrics              Prometheus text metrics (incl. per-mount)
 //	/debug/pprof/         runtime profiles
 //	/healthz              liveness
@@ -36,7 +38,8 @@
 // section checksum of every mounted v2 file before serving. The
 // server drains gracefully on SIGINT/SIGTERM: listeners close,
 // in-flight requests finish (up to the drain timeout), then the
-// process exits.
+// process exits. SIGHUP refreshes every segmented mount (equivalent
+// to POST /refresh), picking up sessions another process sealed.
 package main
 
 import (
@@ -156,6 +159,23 @@ func run(c serveConfig, addr string, drain time.Duration) error {
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP re-reads every segmented mount's manifest — the
+	// operational "pick up what the ingest server sealed" nudge, on a
+	// separate channel so it never races the shutdown context.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			n, err := s.RefreshAll()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "twpp-serve: refresh: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "twpp-serve: refreshed %d of %d mounts\n", n, len(s.Mounts()))
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() {

@@ -1,0 +1,150 @@
+// The ingest performance snapshot (BENCH_*_ingest.json trajectory
+// format): a producer fleet streams over real sockets and the report
+// records end-to-end event throughput, seal latency from the server's
+// own histogram, and the server-side peak heap — the bounded-memory
+// claim as a measured number. Driven by `make bench-ingest`; skipped
+// unless $INGEST_BENCH_OUT is set.
+
+package ingest_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"twpp/internal/bench"
+	"twpp/internal/ingest"
+	"twpp/internal/testkit"
+)
+
+type ingestBenchReport struct {
+	Producers     int     `json:"producers"`
+	Sessions      int     `json:"sessions"`
+	Events        uint64  `json:"events"`
+	BytesIn       uint64  `json:"bytes_in"`
+	WallMs        float64 `json:"wall_ms"`
+	EventsPerS    float64 `json:"events_per_s"`
+	SealMeanMs    float64 `json:"seal_mean_ms"`
+	SessionP50Ms  float64 `json:"session_p50_ms"`
+	SessionP99Ms  float64 `json:"session_p99_ms"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	NumCPU        int     `json:"num_cpu"`
+}
+
+// TestWriteIngestBenchJSON streams a 16-producer fleet (4 rounds each)
+// into the ingest server and writes the measured profile to
+// $INGEST_BENCH_OUT.
+func TestWriteIngestBenchJSON(t *testing.T) {
+	out := os.Getenv("INGEST_BENCH_OUT")
+	if out == "" {
+		t.Skip("set INGEST_BENCH_OUT=path to write the ingest benchmark JSON")
+	}
+	const (
+		producers = 16
+		rounds    = 4
+	)
+	srv, addr := startServer(t, ingest.Options{MaxSessions: producers, Workers: 1})
+	shapes := testkit.Shapes()
+
+	// Pre-generate every workload so generation cost stays out of the
+	// measured window.
+	type workload struct {
+		names  []string
+		events []uint32
+	}
+	loads := make([]workload, producers)
+	var totalEvents uint64
+	for i := range loads {
+		cfg := testkit.Config{Shape: shapes[i%len(shapes)], Seed: 200 + int64(i)}
+		if cfg.Shape == testkit.DeepRecursion {
+			cfg.Calls = 200
+		}
+		w := testkit.Generate(cfg)
+		loads[i] = workload{names: w.FuncNames, events: w.Linear()}
+		totalEvents += uint64(len(w.Linear())) * rounds
+	}
+
+	lat := make([][]time.Duration, producers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	peak, _, err := bench.PeakHeap(func() error {
+		for i := 0; i < producers; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				lat[i] = make([]time.Duration, 0, rounds)
+				for r := 0; r < rounds; r++ {
+					p := &testkit.Producer{
+						Addr:   addr,
+						Mount:  fmt.Sprintf("bench-%d", i%4),
+						Names:  loads[i].names,
+						Events: loads[i].events,
+					}
+					s0 := time.Now()
+					res, err := p.Run()
+					if err != nil {
+						t.Errorf("producer %d round %d: %v", i, r, err)
+						return
+					}
+					if !res.OK() {
+						t.Errorf("producer %d round %d rejected: %s (%s)", i, r, res.Code, res.Detail)
+						return
+					}
+					lat[i] = append(lat[i], time.Since(s0))
+				}
+			}()
+		}
+		wg.Wait()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if t.Failed() {
+		return
+	}
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	reg := srv.Registry()
+	seal := reg.Histogram("twpp_ingest_seal_seconds", nil)
+	sealMean := 0.0
+	if n := seal.Count(); n > 0 {
+		sealMean = seal.Sum() / float64(n) * 1e3
+	}
+	rep := ingestBenchReport{
+		Producers:     producers,
+		Sessions:      len(all),
+		Events:        totalEvents,
+		BytesIn:       reg.Counter("twpp_ingest_bytes_in_total").Value(),
+		WallMs:        ms(wall.Round(time.Microsecond)),
+		EventsPerS:    float64(totalEvents) / wall.Seconds(),
+		SealMeanMs:    sealMean,
+		SessionP50Ms:  ms(all[len(all)/2]),
+		SessionP99Ms:  ms(all[len(all)*99/100]),
+		PeakHeapBytes: peak,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+	}
+	data, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.0f events/s, seal mean %.2fms, session p99 %.1fms, peak heap %d bytes",
+		out, rep.EventsPerS, rep.SealMeanMs, rep.SessionP99Ms, rep.PeakHeapBytes)
+}

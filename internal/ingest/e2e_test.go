@@ -1,0 +1,133 @@
+// The acceptance end-to-end: N concurrent producers stream distinct
+// workloads over real sockets into distinct mounts; the ingest server
+// seals each into a container; a query server mounted on those
+// containers must answer every API route byte-identically to a query
+// server mounted on files written by the offline pipeline
+// (twpp-compact -stream). Run under -race by `make ingest-test`.
+
+package ingest_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"twpp/internal/ingest"
+	"twpp/internal/server"
+	"twpp/internal/testkit"
+	"twpp/internal/trace"
+)
+
+func TestEndToEndServeParity(t *testing.T) {
+	shapes := testkit.Shapes()
+	n := len(shapes)
+	srv, addr := startServer(t, ingest.Options{MaxSessions: n, Workers: 1})
+
+	// Stream every shape concurrently, one mount per shape.
+	workloads := make([]*trace.RawWPP, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i, shape := range shapes {
+		i, shape := i, shape
+		cfg := testkit.Config{Shape: shape, Seed: 60 + int64(i)}
+		if shape == testkit.DeepRecursion {
+			cfg.Calls = 200
+		}
+		workloads[i] = testkit.Generate(cfg)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := &testkit.Producer{
+				Addr:   addr,
+				Mount:  mountName(i),
+				Names:  workloads[i].FuncNames,
+				Events: workloads[i].Linear(),
+			}
+			res, err := p.Run()
+			if err != nil {
+				errs <- fmt.Errorf("producer %d: %w", i, err)
+				return
+			}
+			if !res.OK() {
+				errs <- fmt.Errorf("producer %d rejected: %s (%s)", i, res.Code, res.Detail)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The reference: offline-compacted files served by an identical
+	// query server.
+	offDir := t.TempDir()
+	live := server.New(server.Options{})
+	ref := server.New(server.Options{})
+	for i := range workloads {
+		data, err := testkit.OfflineCompact(workloads[i], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(offDir, mountName(i)+".twpp")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Mount(mountName(i), path); err != nil {
+			t.Fatal(err)
+		}
+		if err := live.Mount(mountName(i), srv.MountDir(mountName(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	liveTS := httptest.NewServer(live.Handler())
+	defer liveTS.Close()
+	refTS := httptest.NewServer(ref.Handler())
+	defer refTS.Close()
+
+	// Every route on every mount and function must agree byte for byte.
+	for i := range workloads {
+		mount := mountName(i)
+		paths := []string{fmt.Sprintf("/v1/%s/funcs", mount)}
+		for fn := range workloads[i].FuncNames {
+			paths = append(paths,
+				fmt.Sprintf("/v1/%s/trace/%d", mount, fn),
+				fmt.Sprintf("/v1/%s/stats/%d", mount, fn),
+			)
+		}
+		for _, path := range paths {
+			lst, lb := get(t, liveTS.URL+path)
+			rst, rb := get(t, refTS.URL+path)
+			if lst != rst {
+				t.Errorf("%s: live status %d, reference %d", path, lst, rst)
+				continue
+			}
+			if !bytes.Equal(lb, rb) {
+				t.Errorf("%s: body differs\nlive: %s\nref:  %s", path, lb, rb)
+			}
+		}
+	}
+}
+
+func mountName(i int) string { return fmt.Sprintf("e2e-%d", i) }
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}

@@ -1,0 +1,52 @@
+// FuzzIngestFrame: the wire protocol under arbitrary bytes. The whole
+// session driver — frame parsing, HELLO decoding, symbol validation,
+// seal — runs against fuzzer-controlled input; any panic escapes the
+// per-session containment as a counter the target asserts on, and any
+// internal-error status fails the run. Seeded with a valid session
+// image and one representative of each corruption class; `make
+// fuzz-seed` replays the corpus as ordinary tests.
+
+package ingest_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"twpp/internal/cli"
+	"twpp/internal/ingest"
+	"twpp/internal/testkit"
+)
+
+func FuzzIngestFrame(f *testing.F) {
+	w := testkit.Generate(testkit.Config{Shape: testkit.Periodic, Seed: 7, Funcs: 3, Calls: 6, MaxLen: 12})
+	img := wireImage("fuzz", w.FuncNames, w.Linear())
+	f.Add(img)
+	f.Add(ingest.AppendHello(nil, "fuzz", w.FuncNames))
+	f.Add(testkit.BitFlip(img, len(img)/3, 2))
+	f.Add(testkit.Truncate(img, len(img)/2))
+	if mut, ok := testkit.InflateLength(img, len(img)-4); ok {
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{ingest.FrameResult, 0, 0, 0, 0})
+
+	dir := f.TempDir()
+	s, err := ingest.NewServer(ingest.Options{Dir: dir, Workers: 1, MaxFrameBytes: 1 << 16, MaxSessionBytes: 1 << 20})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var panicsBefore uint64
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res := s.ServeSession(context.Background(), rwPair{bytes.NewReader(data), io.Discard})
+		if res.Status == cli.ExitFailure {
+			t.Fatalf("internal error status on fuzz input: %s", res.Detail)
+		}
+		if n := metricValue(t, s, "twpp_ingest_panics_total"); n != panicsBefore {
+			panicsBefore = n
+			t.Fatalf("session panicked (contained): input %q", data)
+		}
+	})
+}

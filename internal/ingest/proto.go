@@ -1,0 +1,273 @@
+// Package ingest is the writer-side network service: it accepts
+// length-prefixed WPP event streams from many concurrent producers,
+// runs each session through the bounded-memory online compactor, and
+// seals finished sessions into v2 segments that a colocated or remote
+// twpp-serve picks up without restarting.
+//
+// Wire protocol (all integers in the frame header are fixed-width
+// big-endian; everything inside payloads uses the repo's standard
+// uvarint/string encoding from internal/encoding):
+//
+//	frame   := type:u8 length:u32be payload[length]
+//	HELLO   ('H') := magic:u32 "TWPI" | version:uvarint
+//	                 | mount:string | numFuncs:uvarint | name:string...
+//	EVENTS  ('E') := symbol:uvarint...   (whole symbols only; an empty
+//	                 payload is a keepalive)
+//	FINISH  ('F') := (empty)
+//	RESULT  ('R') := status:uvarint | code:string | detail:string
+//	                 | session | generation | segments | events
+//	                 | calls | uniqueTraces  (all uvarint)
+//
+// A session is HELLO, any number of EVENTS, FINISH; the server answers
+// with exactly one RESULT and closes. The symbol vocabulary is the
+// linear WPP stream (sequitur.EnterMarker(f), block ids,
+// sequitur.ExitMarker), validated by trace.Demux exactly as the
+// offline raw-file reader validates it — every malformed frame yields
+// a structured rejection code, never a crash. RESULT status values
+// reuse the cli exit codes (0 ok, 2 usage/protocol, 3 corrupt,
+// 4 truncated, 5 limit, 6 canceled/idle) plus 7 "busy" when the
+// session semaphore is saturated.
+package ingest
+
+import (
+	"fmt"
+	"io"
+
+	"twpp/internal/cli"
+	"twpp/internal/encoding"
+)
+
+// Frame type bytes.
+const (
+	FrameHello  = byte('H')
+	FrameEvents = byte('E')
+	FrameFinish = byte('F')
+	FrameResult = byte('R')
+)
+
+// ProtoMagic opens every HELLO payload: "TWPI".
+const ProtoMagic = uint32(0x54575049)
+
+// ProtoVersion is the wire protocol version this package speaks.
+const ProtoVersion = 1
+
+// StatusBusy is the RESULT status for a session rejected because the
+// server's concurrent-session semaphore was saturated; every other
+// status is a cli exit code.
+const StatusBusy = 7
+
+// frameHeaderLen is type byte + u32 length.
+const frameHeaderLen = 5
+
+// MaxMountLen bounds the HELLO mount name.
+const MaxMountLen = 64
+
+// ValidMount reports whether name is an acceptable mount name:
+// non-empty, at most MaxMountLen bytes, [a-zA-Z0-9_-] only. The same
+// alphabet the serve catalog accepts, and path-traversal-free by
+// construction.
+func ValidMount(name string) bool {
+	if name == "" || len(name) > MaxMountLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// AppendFrame appends one whole frame (header + payload) to dst.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = encoding.PutUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// AppendHello appends a HELLO frame declaring the session's mount and
+// function name table.
+func AppendHello(dst []byte, mount string, names []string) []byte {
+	p := encoding.PutUint32(nil, ProtoMagic)
+	p = encoding.PutUvarint(p, ProtoVersion)
+	p = encoding.PutString(p, mount)
+	p = encoding.PutUvarint(p, uint64(len(names)))
+	for _, n := range names {
+		p = encoding.PutString(p, n)
+	}
+	return AppendFrame(dst, FrameHello, p)
+}
+
+// AppendEvents appends an EVENTS frame carrying syms.
+func AppendEvents(dst []byte, syms []uint32) []byte {
+	var p []byte
+	for _, s := range syms {
+		p = encoding.PutUvarint(p, uint64(s))
+	}
+	return AppendFrame(dst, FrameEvents, p)
+}
+
+// AppendFinish appends a FINISH frame.
+func AppendFinish(dst []byte) []byte {
+	return AppendFrame(dst, FrameFinish, nil)
+}
+
+// Hello is a decoded HELLO payload.
+type Hello struct {
+	Mount string
+	Names []string
+}
+
+// decodeHello validates and decodes a HELLO payload.
+func decodeHello(payload []byte) (Hello, error) {
+	c := encoding.NewCursor(payload)
+	magic, err := c.Uint32()
+	if err != nil {
+		return Hello{}, err
+	}
+	if magic != ProtoMagic {
+		return Hello{}, encoding.Errf(encoding.CodeBadMagic, 0, "ingest: bad hello magic %#x", magic)
+	}
+	ver, err := c.Uvarint()
+	if err != nil {
+		return Hello{}, err
+	}
+	if ver != ProtoVersion {
+		return Hello{}, encoding.Errf(encoding.CodeBadVersion, int64(c.Pos()), "ingest: protocol version %d (want %d)", ver, ProtoVersion)
+	}
+	mount, err := c.String()
+	if err != nil {
+		return Hello{}, err
+	}
+	if !ValidMount(mount) {
+		return Hello{}, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "ingest: invalid mount name %q", mount)
+	}
+	count, err := c.Uvarint()
+	if err != nil {
+		return Hello{}, err
+	}
+	// Every name costs at least its one-byte length prefix, so a count
+	// beyond the remaining payload is declared, not real — reject
+	// before sizing anything by it (the raw-header discipline).
+	if count > uint64(c.Len()) {
+		return Hello{}, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "ingest: hello declares %d functions with %d bytes left", count, c.Len())
+	}
+	names := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, err := c.String()
+		if err != nil {
+			return Hello{}, err
+		}
+		names = append(names, n)
+	}
+	if !c.Done() {
+		return Hello{}, encoding.Errf(encoding.CodeCorrupt, int64(c.Pos()), "ingest: %d trailing bytes after hello", c.Len())
+	}
+	return Hello{Mount: mount, Names: names}, nil
+}
+
+// Result is the server's final word on a session.
+type Result struct {
+	// Status is a cli exit code, or StatusBusy.
+	Status uint64
+	// Code is the status's symbolic name ("ok", "corrupt", "busy", ...).
+	Code string
+	// Detail is a human-readable elaboration (the error message).
+	Detail string
+	// Session is the write-session id the sealed segments carry.
+	Session uint64
+	// Generation is the container generation the seal committed.
+	Generation uint64
+	// Segments is how many segment files the session sealed into.
+	Segments uint64
+	// Events, Calls, UniqueTraces summarize the compacted session.
+	Events, Calls, UniqueTraces uint64
+}
+
+// OK reports whether the session sealed successfully.
+func (r Result) OK() bool { return r.Status == cli.ExitOK }
+
+// appendResult encodes r's payload.
+func appendResult(dst []byte, r Result) []byte {
+	p := encoding.PutUvarint(nil, r.Status)
+	p = encoding.PutString(p, r.Code)
+	p = encoding.PutString(p, r.Detail)
+	for _, v := range [...]uint64{r.Session, r.Generation, r.Segments, r.Events, r.Calls, r.UniqueTraces} {
+		p = encoding.PutUvarint(p, v)
+	}
+	return AppendFrame(dst, FrameResult, p)
+}
+
+// DecodeResult decodes a RESULT payload (producer side).
+func DecodeResult(payload []byte) (Result, error) {
+	c := encoding.NewCursor(payload)
+	var r Result
+	var err error
+	if r.Status, err = c.Uvarint(); err != nil {
+		return r, err
+	}
+	if r.Code, err = c.String(); err != nil {
+		return r, err
+	}
+	if r.Detail, err = c.String(); err != nil {
+		return r, err
+	}
+	for _, dst := range [...]*uint64{&r.Session, &r.Generation, &r.Segments, &r.Events, &r.Calls, &r.UniqueTraces} {
+		if *dst, err = c.Uvarint(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// ReadFrame reads one frame from r, enforcing maxPayload on the
+// declared length before allocating anything. buf is an optional
+// reusable payload buffer; the returned payload aliases it when it
+// fits. A clean EOF before any header byte returns io.EOF.
+func ReadFrame(r io.Reader, maxPayload int, buf []byte) (typ byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err // io.EOF: clean end before a frame
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n, err := encoding.Uint32(hdr[1:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if int64(n) > int64(maxPayload) {
+		return 0, nil, encoding.Errf(encoding.CodeLimit, 0, "ingest: frame declares %d bytes (limit %d)", n, maxPayload)
+	}
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// ReadResult reads frames until a RESULT arrives and decodes it
+// (producer side; the server sends nothing else).
+func ReadResult(r io.Reader) (Result, error) {
+	typ, payload, err := ReadFrame(r, 1<<20, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	if typ != FrameResult {
+		return Result{}, fmt.Errorf("ingest: unexpected frame type %q awaiting result", typ)
+	}
+	return DecodeResult(payload)
+}

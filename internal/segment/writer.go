@@ -130,23 +130,11 @@ func (w *Writer) Finish() (*Manifest, error) {
 // seal encodes one segment TWPP to its canonical file name and returns
 // its manifest entry.
 func (w *Writer) seal(t *core.TWPP, carryDCG bool) (Entry, error) {
-	data, err := wppfile.EncodeCompactedFormat(t, w.opts.Workers, wppfile.FormatV2)
+	e, err := sealSegment(w.dir, t, 1, w.ordinal, w.opts.Workers, w.session, carryDCG)
 	if err != nil {
 		return Entry{}, err
 	}
-	hash, ok := wppfile.ContentHashBytes(data)
-	if !ok {
-		return Entry{}, fmt.Errorf("segment: encoded segment has no content hash")
-	}
-	name := segmentName(1, w.ordinal)
 	w.ordinal++
-	if err := os.WriteFile(filepath.Join(w.dir, name), data, 0o644); err != nil {
-		return Entry{}, err
-	}
-	e := Entry{Name: name, Size: int64(len(data)), Hash: hash, Session: w.session}
-	if carryDCG {
-		e.Flags |= FlagDCG
-	}
 	return e, nil
 }
 

@@ -19,10 +19,13 @@ import (
 // server resolves a request to a *Mount here, then serves entirely
 // from that mount's container.
 //
-// Adding and removing mounts is not concurrent with serving (mount
-// everything, then serve), but a mounted container's CONTENT may
+// Mounting IS safe concurrent with serving — the map is lock-guarded
+// and metric registration is registry-guarded — which is what lets a
+// colocated ingest server add mounts as first sessions seal (see
+// Ensure in refresh.go). A mounted container's CONTENT may also
 // change while requests are in flight: a segmented mount's background
-// merger swaps manifest generations underneath the server. The
+// merger swaps manifest generations underneath the server, and
+// Refresh picks up generations written by another process. The
 // container handles that atomically on its side; the catalog's part of
 // the contract is that nothing here caches derived state — ETags are
 // computed from the live content hash per request, so a swap

@@ -1,0 +1,135 @@
+// The refresh path: mounts were fixed at startup until the ingest
+// service arrived; now a mount backed by a segmented container can be
+// told to re-read its manifest so sessions sealed after startup —
+// by a colocated twpp-ingest or any other writer — become queryable
+// without a restart. Exposed three ways: POST /v1/{mount}/refresh
+// for one mount, POST /refresh for all, and SIGHUP in cmd/twpp-serve
+// (which calls RefreshAll). Dynamic mounting rides the same
+// machinery: Catalog.Ensure mounts a path first seen at runtime.
+
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// refresher is implemented by containers that can re-read their
+// backing manifest (segment.Set); single-file mounts don't change
+// underneath the server and simply report "nothing new".
+type refresher interface {
+	Refresh() (bool, error)
+}
+
+// generationer reports a container's manifest generation (segment.Set).
+type generationer interface {
+	Generation() uint64
+}
+
+// Refresh re-reads the mount's backing manifest when the container
+// supports it, returning whether a newer generation was picked up.
+// In-flight requests keep serving the generation they acquired; the
+// swap is atomic on the container side.
+func (m *Mount) Refresh() (bool, error) {
+	if rf, ok := m.file.(refresher); ok {
+		return rf.Refresh()
+	}
+	return false, nil
+}
+
+// Generation returns the mount's current manifest generation, or 0
+// for single-file mounts.
+func (m *Mount) Generation() uint64 {
+	if g, ok := m.file.(generationer); ok {
+		return g.Generation()
+	}
+	return 0
+}
+
+// Refresh refreshes one mount by name.
+func (c *Catalog) Refresh(name string) (bool, error) {
+	m, err := c.Get(name)
+	if err != nil {
+		return false, err
+	}
+	return m.Refresh()
+}
+
+// Ensure makes name serveable: an existing mount is refreshed, an
+// unknown one is mounted from path. It is safe concurrent with
+// serving — the catalog map is lock-guarded and Get snapshots under
+// RLock — and is the hook a colocated ingest server calls after every
+// seal.
+func (c *Catalog) Ensure(name, path string) error {
+	if _, err := c.Get(name); err == nil {
+		_, err = c.Refresh(name)
+		return err
+	}
+	err := c.Mount(name, path)
+	if err != nil {
+		// A racing Ensure may have mounted it first; that's success.
+		if _, gerr := c.Get(name); gerr == nil {
+			_, rerr := c.Refresh(name)
+			return rerr
+		}
+	}
+	return err
+}
+
+// RefreshAll refreshes every mount, returning how many picked up a
+// new generation and the first error.
+func (s *Server) RefreshAll() (int, error) {
+	n := 0
+	var first error
+	for _, name := range s.cat.Names() {
+		did, err := s.cat.Refresh(name)
+		if err != nil && first == nil {
+			first = fmt.Errorf("mount %q: %w", name, err)
+		}
+		if did {
+			n++
+		}
+	}
+	return n, first
+}
+
+// RefreshResponse reports one mount's refresh outcome.
+type RefreshResponse struct {
+	Mount      string `json:"mount"`
+	Refreshed  bool   `json:"refreshed"`
+	Generation uint64 `json:"generation"`
+	ETag       string `json:"etag,omitempty"`
+}
+
+// handleRefresh serves POST /v1/{mount}/refresh.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) error {
+	m, err := s.resolveMount(r)
+	if err != nil {
+		return err
+	}
+	did, err := m.Refresh()
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, RefreshResponse{
+		Mount:      m.Name(),
+		Refreshed:  did,
+		Generation: m.Generation(),
+		ETag:       m.ETag(),
+	})
+}
+
+// RefreshAllResponse reports a catalog-wide refresh.
+type RefreshAllResponse struct {
+	Mounts    int `json:"mounts"`
+	Refreshed int `json:"refreshed"`
+}
+
+// handleRefreshAll serves POST /refresh.
+func (s *Server) handleRefreshAll(w http.ResponseWriter, r *http.Request) error {
+	n, err := s.RefreshAll()
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, RefreshAllResponse{Mounts: s.cat.Len(), Refreshed: n})
+}

@@ -101,8 +101,10 @@ func (o Options) withDefaults() Options {
 }
 
 // Server serves query requests over a catalog of mounted compacted
-// TWPP files. It is safe for concurrent use once built; Mount is not
-// concurrent with serving (mount everything, then serve).
+// TWPP files. It is safe for concurrent use once built; Mount and
+// the refresh path may run concurrently with serving (the catalog is
+// lock-guarded), which is how a colocated ingest server makes newly
+// sealed sessions queryable live.
 type Server struct {
 	opts Options
 	reg  *obs.Registry
@@ -211,6 +213,11 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /v1/{mount}/stats/{fn}", s.limited(s.cached(s.handleStats)))
 	mux.HandleFunc("GET /v1/{mount}/cfg/{fn}", s.limited(s.cached(s.handleCFG)))
 	mux.HandleFunc("GET /v1/{mount}/query", s.limited(s.cached(s.handleQuery)))
+	// Refresh is a cheap mutation (re-read one manifest), not a query:
+	// it goes through limited() for the semaphore and logging but is
+	// never response-cached.
+	mux.HandleFunc("POST /v1/{mount}/refresh", s.limited(s.handleRefresh))
+	mux.HandleFunc("POST /refresh", s.limited(s.handleRefreshAll))
 	s.mux = mux
 	return s
 }
