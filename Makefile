@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap bench-scale bench-scale-short bench-segments bench-ingest serve-test ingest-test fuzz-seed ci
+.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap bench-scale bench-scale-short bench-segments bench-ingest serve-test ingest-test diff-test diff-check fuzz-seed ci
 
 build:
 	$(GO) build ./...
@@ -131,6 +131,30 @@ bench-mmap:
 		$(GO) test -run TestWriteMmapBenchJSON -v .
 	$(GO) test -run xxx -bench 'ConcurrentExtract/backend' -benchtime 1x .
 
+# Differential gate: the diff engine's metamorphic matrix (7 shapes ×
+# {v1,v2,segmented} × {file,mmap,memory}), the perturbation-injection
+# suite, and the twpp-diff golden/exit-code tests — under the race
+# detector. (The /v1/diff parity oracle and the refresh load test live
+# in ./internal/server/ and run under serve-test.)
+diff-test:
+	$(GO) test -race ./internal/diff/ ./cmd/twpp-diff/
+
+# End-to-end diff gate on the example profiles: identical content must
+# diff clean across segmentation (exit 0), and a regressed program
+# must be flagged with exit 1 — not 0 (missed) and not 2+ (crashed).
+diff-check:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' 0; \
+	$(GO) run ./cmd/twpp-trace -src examples/diffcheck/base.mini -o $$tmp/base.wpp -stats=false; \
+	$(GO) run ./cmd/twpp-trace -src examples/diffcheck/regressed.mini -o $$tmp/regressed.wpp -stats=false; \
+	$(GO) run ./cmd/twpp-compact -in $$tmp/base.wpp -o $$tmp/base.twpp; \
+	$(GO) run ./cmd/twpp-compact -in $$tmp/base.wpp -o $$tmp/base.twppd -segment-bytes 4096; \
+	$(GO) run ./cmd/twpp-compact -in $$tmp/regressed.wpp -o $$tmp/regressed.twpp; \
+	$(GO) run ./cmd/twpp-diff $$tmp/base.twpp $$tmp/base.twppd; \
+	echo "diff-check: identical content diffs clean across segmentation"; \
+	rc=0; $(GO) run ./cmd/twpp-diff -json $$tmp/base.twpp $$tmp/regressed.twpp >/dev/null || rc=$$?; \
+	if [ $$rc -ne 1 ]; then echo "diff-check: regressed profile exited $$rc, want 1"; exit 1; fi; \
+	echo "diff-check: regressed profile flagged (exit 1)"
+
 # Run the fuzz targets on their seed corpora only (no fuzzing time;
 # the seeded cases run as ordinary tests): the compaction determinism
 # targets at the root, the hostile-input decode targets in wppfile and
@@ -141,5 +165,6 @@ fuzz-seed:
 	$(GO) test -run 'FuzzUvarintBatchParity' ./internal/encoding/
 	$(GO) test -run 'FuzzManifestDecode' ./internal/segment/
 	$(GO) test -run 'FuzzIngestFrame' ./internal/ingest/
+	$(GO) test -run 'FuzzDiffCompacted' ./internal/diff/
 
-ci: lint vuln build test race serve-test ingest-test fuzz-seed cover bench-mem bench-mmap bench-scale-short
+ci: lint vuln build test race serve-test ingest-test diff-test diff-check fuzz-seed cover bench-mem bench-mmap bench-scale-short

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twpp/internal/cli"
+	"twpp/internal/testkit"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testdataDir is resolved before any test chdirs into a fixture
+// directory (reports label sides with relative paths, so the golden
+// tests run from inside the fixture dir).
+var testdataDir, _ = filepath.Abs("testdata")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	p := filepath.Join(testdataDir, name)
+	if *update {
+		if err := os.MkdirAll(testdataDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", p, got, want)
+	}
+}
+
+func defaults() diffConfig {
+	return diffConfig{topK: 3, callThresh: 0.10, factorThresh: 0.25}
+}
+
+// The regressed pair, human-readable: per-function rows, path
+// add/remove markers, and the regression table.
+func TestGoldenHuman(t *testing.T) {
+	dir := t.TempDir()
+	writeDiffFixtures(t, dir)
+	chdir(t, dir)
+	c := defaults()
+	c.pathA, c.pathB = "a.twpp", "b.twpp"
+	var buf bytes.Buffer
+	if err := run(&buf, c); cli.ExitCode(err) != cli.ExitFailure {
+		t.Fatalf("regressed pair: exit %d, want %d (err: %v)", cli.ExitCode(err), cli.ExitFailure, err)
+	}
+	checkGolden(t, "regression_human.golden", buf.Bytes())
+}
+
+// The same pair as stable JSON: the exact bytes /v1/diff serves.
+func TestGoldenJSON(t *testing.T) {
+	dir := t.TempDir()
+	writeDiffFixtures(t, dir)
+	chdir(t, dir)
+	c := defaults()
+	c.pathA, c.pathB, c.json = "a.twpp", "b.twpp", true
+	var buf bytes.Buffer
+	if err := run(&buf, c); cli.ExitCode(err) != cli.ExitFailure {
+		t.Fatalf("regressed pair: exit %d, want %d (err: %v)", cli.ExitCode(err), cli.ExitFailure, err)
+	}
+	checkGolden(t, "regression_json.golden", buf.Bytes())
+}
+
+// Identical content across segmentation boundaries: an empty report.
+func TestGoldenIdentical(t *testing.T) {
+	dir := t.TempDir()
+	writeDiffFixtures(t, dir)
+	chdir(t, dir)
+	c := defaults()
+	c.pathA, c.pathB = "a.twpp", "a.twppd"
+	var buf bytes.Buffer
+	if err := run(&buf, c); err != nil {
+		t.Fatalf("identical content: %v", err)
+	}
+	checkGolden(t, "identical_human.golden", buf.Bytes())
+}
+
+// The full exit-code contract: 0 clean, 1 regression, 2 usage, 3
+// corrupt, 4 truncated — through the same classifier main uses.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	writeDiffFixtures(t, dir)
+	img, err := os.ReadFile(filepath.Join(dir, "a.twpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.twpp"), testkit.BitFlip(img, 0, 3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "trunc.twpp"), testkit.Truncate(img, 9), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, dir)
+
+	cases := []struct {
+		name string
+		a, b string
+		want int
+	}{
+		{"identical file", "a.twpp", "a.twpp", cli.ExitOK},
+		{"identical across segmentation", "a.twpp", "a.twppd", cli.ExitOK},
+		{"segmented first", "a.twppd", "a.twpp", cli.ExitOK},
+		{"regression", "a.twpp", "b.twpp", cli.ExitFailure},
+		{"regression reversed", "b.twpp", "a.twpp", cli.ExitFailure},
+		{"missing args is usage", "", "", cli.ExitUsage},
+		{"one arg is usage", "a.twpp", "", cli.ExitUsage},
+		{"corrupt side b", "a.twpp", "corrupt.twpp", cli.ExitCorrupt},
+		{"corrupt side a", "corrupt.twpp", "a.twpp", cli.ExitCorrupt},
+		{"truncated side b", "a.twpp", "trunc.twpp", cli.ExitTruncated},
+		{"absent file is plain failure", "a.twpp", "nope.twpp", cli.ExitFailure},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := defaults()
+			c.pathA, c.pathB = tc.a, tc.b
+			err := run(&bytes.Buffer{}, c)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Fatalf("exit code %d, want %d (err: %v)", got, tc.want, err)
+			}
+		})
+	}
+}

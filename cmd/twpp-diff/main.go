@@ -1,0 +1,94 @@
+// Command twpp-diff compares two compacted TWPP containers — any mix
+// of format v1, v2, and segmented container directories
+// (auto-detected) — and reports profile regressions: paths that
+// appeared or disappeared (matched by trace identity, not index),
+// hot-path rank drift in the top-K, and call-count / compaction-factor
+// changes beyond relative thresholds.
+//
+// Usage:
+//
+//	twpp-diff [-json] [-k 3] [-call-threshold 0.10] [-factor-threshold 0.25] [-mmap] a.twpp b.twppd
+//
+// Exit codes make it a CI gate: 0 means the profiles are within
+// thresholds (identical content — even across different formats,
+// segmentations, or backends — always exits 0), 1 means a regression
+// was detected (the report is still printed), 2 is a usage error, and
+// 3+ are structured decode failures (corrupt, truncated, resource
+// limit) per internal/cli.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"twpp/internal/cli"
+	"twpp/internal/diff"
+	"twpp/internal/storage"
+	"twpp/internal/wppfile"
+)
+
+// errRegression maps to cli.ExitFailure (1): the diff worked, the
+// profiles regressed.
+var errRegression = errors.New("profile regression detected")
+
+type diffConfig struct {
+	pathA, pathB string
+	json         bool
+	topK         int
+	callThresh   float64
+	factorThresh float64
+	mmap         bool
+}
+
+func main() {
+	var c diffConfig
+	d := diff.DefaultOptions()
+	flag.BoolVar(&c.json, "json", false, "emit the report as stable JSON instead of human-readable text")
+	flag.IntVar(&c.topK, "k", d.TopK, "hot-path rank window compared for drift (0 disables)")
+	flag.Float64Var(&c.callThresh, "call-threshold", d.CallThreshold, "relative call-count change flagged as regression (negative disables)")
+	flag.Float64Var(&c.factorThresh, "factor-threshold", d.FactorThreshold, "relative compaction-factor drop flagged as regression (negative disables)")
+	flag.BoolVar(&c.mmap, "mmap", false, "read through read-only memory mappings")
+	flag.Parse()
+	if flag.NArg() == 2 {
+		c.pathA, c.pathB = flag.Arg(0), flag.Arg(1)
+	}
+	cli.Exit("twpp-diff", run(os.Stdout, c))
+}
+
+func run(out io.Writer, c diffConfig) error {
+	if c.pathA == "" || c.pathB == "" {
+		return cli.Usagef("usage: twpp-diff [flags] <a.twpp> <b.twpp>")
+	}
+	open := wppfile.OpenOptions{}
+	if c.mmap {
+		open.Backend = storage.KindMmap
+	}
+	opts := diff.Options{
+		TopK:            c.topK,
+		CallThreshold:   c.callThresh,
+		FactorThreshold: c.factorThresh,
+	}
+	report, err := diff.Files(context.Background(), c.pathA, c.pathB, open, opts)
+	if err != nil {
+		return err
+	}
+	if c.json {
+		b, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := out.Write(b); err != nil {
+			return err
+		}
+	} else if err := report.WriteHuman(out); err != nil {
+		return err
+	}
+	if report.Regression {
+		return fmt.Errorf("%w: %d threshold violation(s)", errRegression, len(report.Regressions))
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twpp"
+	"twpp/internal/testkit"
+)
+
+// compileAndCompact traces a minilang program and returns its
+// compacted TWPP.
+func compileAndCompact(t *testing.T, src string) *twpp.TWPP {
+	t.Helper()
+	prog, err := twpp.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := prog.Trace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, _ := twpp.Compact(r.WPP)
+	return tw
+}
+
+// The baseline program: w alternates between two paths, so the
+// profile has a two-path hot set with a stable ranking.
+const progA = `
+func main() {
+    var s = 0;
+    for (var i = 0; i < 24; i = i + 1) {
+        s = s + w(i % 2);
+    }
+    print(s);
+}
+func w(m) {
+    var j = 0;
+    if (m > 0) {
+        j = j + 3;
+    }
+    while (j < 6) {
+        j = j + 1;
+    }
+    return m + j;
+}
+`
+
+// The regressed program: w is called more often and only ever takes
+// the m=0 path — one hot path disappears and the call count inflates,
+// tripping both thresholds.
+const progB = `
+func main() {
+    var s = 0;
+    for (var i = 0; i < 40; i = i + 1) {
+        s = s + w(0);
+    }
+    print(s);
+}
+func w(m) {
+    var j = 0;
+    if (m > 0) {
+        j = j + 3;
+    }
+    while (j < 6) {
+        j = j + 1;
+    }
+    return m + j;
+}
+`
+
+// writeDiffFixtures lays out the test containers in dir: the baseline
+// as a v2 file (a.twpp) and a segmented directory (a.twppd) with
+// identical content, the regressed profile (b.twpp), and a calls-only
+// drift (c.twpp: the baseline with one function's hottest path
+// invoked ~25% more — same path set, same ranking).
+func writeDiffFixtures(t *testing.T, dir string) {
+	t.Helper()
+	ta := compileAndCompact(t, progA)
+	if err := twpp.WriteFile(filepath.Join(dir, "a.twpp"), ta); err != nil {
+		t.Fatal(err)
+	}
+	if err := twpp.CompactSegmented(filepath.Join(dir, "a.twppd"), ta, twpp.SegmentOptions{Segments: 2, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := twpp.WriteFile(filepath.Join(dir, "b.twpp"), compileAndCompact(t, progB)); err != nil {
+		t.Fatal(err)
+	}
+	tc, _, err := testkit.MutateProfile(ta, testkit.MutInflateCalls, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twpp.WriteFile(filepath.Join(dir, "c.twpp"), tc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chdir moves the process into dir until the test ends, so fixture
+// labels in reports are stable relative paths instead of temp dirs.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+func TestRunIdenticalAcrossSegmentation(t *testing.T) {
+	dir := t.TempDir()
+	writeDiffFixtures(t, dir)
+	chdir(t, dir)
+	for _, c := range []diffConfig{
+		{pathA: "a.twpp", pathB: "a.twppd", topK: 3, callThresh: 0.10, factorThresh: 0.25},
+		{pathA: "a.twppd", pathB: "a.twpp", topK: 3, callThresh: 0.10, factorThresh: 0.25, json: true},
+		{pathA: "a.twpp", pathB: "a.twpp", topK: 3, callThresh: 0.10, factorThresh: 0.25, mmap: true},
+	} {
+		if err := run(io.Discard, c); err != nil {
+			t.Fatalf("diff %s vs %s: %v", c.pathA, c.pathB, err)
+		}
+	}
+}
+
+func TestRunRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeDiffFixtures(t, dir)
+	chdir(t, dir)
+	var buf bytes.Buffer
+	err := run(&buf, diffConfig{pathA: "a.twpp", pathB: "b.twpp", json: true, topK: 3, callThresh: 0.10, factorThresh: 0.25})
+	if err == nil {
+		t.Fatal("regressed profile diffed clean")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"regression": true`)) {
+		t.Fatalf("JSON report missing regression flag:\n%s", buf.Bytes())
+	}
+}
+
+func TestRunThresholds(t *testing.T) {
+	dir := t.TempDir()
+	writeDiffFixtures(t, dir)
+	chdir(t, dir)
+	// a vs c moves only call counts (same paths, same ranking): the
+	// default 10% threshold trips on the ~25% inflation...
+	err := run(io.Discard, diffConfig{pathA: "a.twpp", pathB: "c.twpp", topK: 3, callThresh: 0.10, factorThresh: 0.25})
+	if err == nil {
+		t.Fatal("25% call growth passed the 10% threshold")
+	}
+	// ...a 150% threshold tolerates it...
+	var buf bytes.Buffer
+	if err := run(&buf, diffConfig{pathA: "a.twpp", pathB: "c.twpp", topK: 3, callThresh: 1.5, factorThresh: 0.25}); err != nil {
+		t.Fatalf("call growth under a loose threshold: %v", err)
+	}
+	// ...and the delta itself is still reported either way.
+	if !bytes.Contains(buf.Bytes(), []byte("[changed]")) {
+		t.Fatalf("calls-only delta missing from human report:\n%s", buf.Bytes())
+	}
+	// Disabling the call check entirely also passes.
+	if err := run(io.Discard, diffConfig{pathA: "a.twpp", pathB: "c.twpp", topK: 3, callThresh: -1, factorThresh: -1}); err != nil {
+		t.Fatalf("call check disabled: %v", err)
+	}
+}

@@ -1,0 +1,82 @@
+// FuzzDiffCompacted: diffing a corrupt or truncated container must
+// fail with a structured encoding error — mapping to exit code 3/4/5
+// and HTTP 422 — never a panic, and never the unstructured failure
+// class that would read as exit 1 ("regression") in CI.
+package diff_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twpp/internal/cli"
+	"twpp/internal/core"
+	"twpp/internal/diff"
+	"twpp/internal/testkit"
+	"twpp/internal/wpp"
+	"twpp/internal/wppfile"
+)
+
+func FuzzDiffCompacted(f *testing.F) {
+	corpus := testkit.Corpus(3)
+	c, _ := wpp.Compact(corpus[testkit.Regular])
+	tw := core.FromCompacted(c)
+	v2, err := wppfile.EncodeCompactedFormat(tw, 1, wppfile.FormatV2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1, err := wppfile.EncodeCompactedFormat(tw, 1, wppfile.FormatV1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2)
+	f.Add(v1)
+	// A different valid profile: the diff succeeds and reports deltas.
+	c2, _ := wpp.Compact(corpus[testkit.Periodic])
+	other, err := wppfile.EncodeCompactedFormat(core.FromCompacted(c2), 1, wppfile.FormatV2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(other)
+	// Hostile seeds: truncations and bit flips at varied depths.
+	for _, n := range []int{0, 4, len(v2) / 4, len(v2) / 2, len(v2) - 3} {
+		f.Add(testkit.Truncate(v2, n))
+	}
+	for _, off := range []int{1, 9, len(v2) / 3, 2 * len(v2) / 3, len(v2) - 5} {
+		f.Add(testkit.BitFlip(v2, off, 3))
+		f.Add(testkit.BitFlip(v1, off%len(v1), 5))
+	}
+
+	goodDir, err := os.MkdirTemp("", "fuzzdiff-*")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { os.RemoveAll(goodDir) })
+	good := filepath.Join(goodDir, "good.twpp")
+	if err := os.WriteFile(good, v2, 0o644); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bad := filepath.Join(t.TempDir(), "b.twpp")
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check := func(dir string, err error) {
+			if err == nil {
+				return // valid input, diff produced a report
+			}
+			if !testkit.Structured(err) {
+				t.Fatalf("diff %s: unstructured error on hostile input: %v", dir, err)
+			}
+			if code := cli.ExitCode(err); code < cli.ExitCorrupt || code > cli.ExitLimit {
+				t.Fatalf("diff %s: structured error mapped to exit %d, want 3..5: %v", dir, code, err)
+			}
+		}
+		_, err := diff.Files(context.Background(), good, bad, wppfile.OpenOptions{}, diff.DefaultOptions())
+		check("good-vs-bad", err)
+		_, err = diff.Files(context.Background(), bad, good, wppfile.OpenOptions{}, diff.DefaultOptions())
+		check("bad-vs-good", err)
+	})
+}

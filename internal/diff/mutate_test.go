@@ -1,0 +1,152 @@
+// Perturbation-injection tests: seed a known profile, inject exactly
+// one mutation through testkit.MutateProfile, and require the diff to
+// report precisely that delta — the right function, the right trace
+// identity, the right regression kinds — and nothing else.
+package diff_test
+
+import (
+	"reflect"
+	"testing"
+
+	"twpp/internal/diff"
+	"twpp/internal/storage"
+	"twpp/internal/testkit"
+	"twpp/internal/wppfile"
+)
+
+// kinds collects the regression kinds present in a report per kind
+// name.
+func kinds(r *diff.Report) map[string]int {
+	out := map[string]int{}
+	for _, reg := range r.Regressions {
+		out[reg.Kind]++
+	}
+	return out
+}
+
+func TestDiffReportsExactInjectedDelta(t *testing.T) {
+	corpus := testkit.Corpus(7)
+	applied := map[testkit.ProfileMutation]int{}
+	for _, m := range testkit.ProfileMutations() {
+		for _, shape := range testkit.Shapes() {
+			orig := compactTWPP(corpus[shape])
+			mut, info, err := testkit.MutateProfile(orig, m, int64(100+int(shape)))
+			if err != nil {
+				// Some shapes cannot host some mutations (a
+				// single-function profile has no droppable path);
+				// the coverage floor below catches a mutator that
+				// never applies.
+				continue
+			}
+			applied[m]++
+			name := m.String() + "/" + shape.String()
+			dir := t.TempDir()
+			v := variant{"v2-file", wppfile.FormatV2, storage.KindFile}
+			a := openVariant(t, dir, "a", orig, v)
+			b := openVariant(t, dir, "b", mut, v)
+			r := mustDiff(t, "a", "b", a, b)
+
+			if len(r.Functions) != 1 {
+				t.Fatalf("%s: %d function deltas, want exactly 1: %+v", name, len(r.Functions), r.Functions)
+			}
+			fd := r.Functions[0]
+			if fd.Name != info.Name {
+				t.Fatalf("%s: delta names %q, mutation hit %q", name, fd.Name, info.Name)
+			}
+			if fd.Status != diff.StatusChanged {
+				t.Fatalf("%s: status %q, want %q", name, fd.Status, diff.StatusChanged)
+			}
+			if !r.Regression {
+				t.Fatalf("%s: injected delta raised no regression", name)
+			}
+			k := kinds(r)
+			if k[diff.RegFuncAdded] != 0 || k[diff.RegFuncRemoved] != 0 {
+				t.Fatalf("%s: spurious func-added/removed regressions: %+v", name, r.Regressions)
+			}
+
+			switch m {
+			case testkit.MutDropPath:
+				if len(fd.Appeared) != 0 {
+					t.Fatalf("%s: %d spurious appeared paths", name, len(fd.Appeared))
+				}
+				if len(fd.Disappeared) != 1 || fd.Disappeared[0].Key != info.Key {
+					t.Fatalf("%s: disappeared = %+v, want exactly key %s", name, fd.Disappeared, info.Key)
+				}
+				if fd.CallsB != fd.CallsA+info.Delta {
+					t.Fatalf("%s: calls %d -> %d, mutation removed %d", name, fd.CallsA, fd.CallsB, -info.Delta)
+				}
+				if k[diff.RegPathVanished] != 1 || k[diff.RegPathAppeared] != 0 {
+					t.Fatalf("%s: regression kinds %+v, want one path-disappeared", name, k)
+				}
+			case testkit.MutSwapRanks:
+				if len(fd.Appeared) != 0 || len(fd.Disappeared) != 0 {
+					t.Fatalf("%s: path set changed by a pure rank swap: +%d -%d", name, len(fd.Appeared), len(fd.Disappeared))
+				}
+				if fd.CallsA != fd.CallsB {
+					t.Fatalf("%s: call count changed by a pure rank swap: %d -> %d", name, fd.CallsA, fd.CallsB)
+				}
+				if !fd.RankDrift {
+					t.Fatalf("%s: rank swap not reported as drift (rankA=%v rankB=%v)", name, fd.RankA, fd.RankB)
+				}
+				if k[diff.RegRankDrift] != 1 || k[diff.RegPathAppeared] != 0 || k[diff.RegPathVanished] != 0 || k[diff.RegCallCount] != 0 {
+					t.Fatalf("%s: regression kinds %+v, want one rank-drift", name, k)
+				}
+			case testkit.MutInflateCalls:
+				if len(fd.Appeared) != 0 || len(fd.Disappeared) != 0 {
+					t.Fatalf("%s: path set changed by call inflation: +%d -%d", name, len(fd.Appeared), len(fd.Disappeared))
+				}
+				if fd.CallsB != fd.CallsA+info.Delta {
+					t.Fatalf("%s: calls %d -> %d, mutation added %d", name, fd.CallsA, fd.CallsB, info.Delta)
+				}
+				if fd.RankDrift {
+					t.Fatalf("%s: inflating the hottest path reordered ranks: %v -> %v", name, fd.RankA, fd.RankB)
+				}
+				if k[diff.RegCallCount] != 1 || k[diff.RegPathAppeared] != 0 || k[diff.RegPathVanished] != 0 || k[diff.RegRankDrift] != 0 {
+					t.Fatalf("%s: regression kinds %+v, want one call-count", name, k)
+				}
+				// More calls compress better, never worse: inflation
+				// must not read as a compaction regression.
+				if k[diff.RegFactor] != 0 {
+					t.Fatalf("%s: spurious compaction-factor regression: %+v", name, r.Regressions)
+				}
+			}
+
+			// The injected delta inverts like any other.
+			rBA := mustDiff(t, "b", "a", b, a)
+			if !reflect.DeepEqual(r.Inverse(), rBA) {
+				t.Fatalf("%s: mutated diff does not invert", name)
+			}
+		}
+	}
+	for _, m := range testkit.ProfileMutations() {
+		if applied[m] == 0 {
+			t.Fatalf("mutation %s never applied to any shape", m)
+		}
+	}
+	t.Logf("mutations applied: drop=%d swap=%d inflate=%d",
+		applied[testkit.MutDropPath], applied[testkit.MutSwapRanks], applied[testkit.MutInflateCalls])
+}
+
+// MutateProfile must not touch its input: the original profile diffs
+// empty against a pristine copy after mutation.
+func TestMutateProfileLeavesOriginalIntact(t *testing.T) {
+	corpus := testkit.Corpus(7)
+	mutated := 0
+	for _, shape := range testkit.Shapes() {
+		orig := compactTWPP(corpus[shape])
+		pristine := compactTWPP(corpus[shape])
+		for _, m := range testkit.ProfileMutations() {
+			if _, _, err := testkit.MutateProfile(orig, m, 5); err == nil {
+				mutated++
+			}
+		}
+		dir := t.TempDir()
+		v := variant{"v2-file", wppfile.FormatV2, storage.KindFile}
+		a := openVariant(t, dir, "a-"+shape.String(), orig, v)
+		b := openVariant(t, dir, "b-"+shape.String(), pristine, v)
+		requireEmpty(t, mustDiff(t, "a", "b", a, b), shape.String()+" post-mutation original")
+	}
+	if mutated == 0 {
+		t.Fatal("no mutation applied to any shape")
+	}
+}

@@ -1,0 +1,252 @@
+package diff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// FuncDelta status values.
+const (
+	StatusChanged = "changed"
+	StatusAdded   = "added"
+	StatusRemoved = "removed"
+)
+
+// Regression kinds.
+const (
+	RegFuncAdded    = "func-added"
+	RegFuncRemoved  = "func-removed"
+	RegPathAppeared = "path-appeared"
+	RegPathVanished = "path-disappeared"
+	RegRankDrift    = "rank-drift"
+	RegCallCount    = "call-count"
+	RegFactor       = "compaction-factor"
+)
+
+// Side identifies one input of the diff.
+type Side struct {
+	// Label names the side: a file path for the CLI, a mount name for
+	// the server.
+	Label string `json:"label"`
+	// Format is the container format version (1 or 2; segmented
+	// containers are 2).
+	Format int `json:"format"`
+	// ContentHash is the container's content hash as 16 hex digits,
+	// empty for v1 containers, which carry none.
+	ContentHash string `json:"content_hash,omitempty"`
+	// Functions is the number of functions in the container.
+	Functions int `json:"functions"`
+}
+
+// PathInfo describes one unique path on the side it exists on.
+type PathInfo struct {
+	// Key is the trace identity: the 64-bit hash of the fully
+	// expanded block sequence (see TraceIdentity).
+	Key string `json:"key"`
+	// Len is the expanded path length in blocks.
+	Len int `json:"len"`
+	// Calls is how many invocations took this path.
+	Calls int `json:"calls"`
+}
+
+// FuncDelta is one function's differences between the two sides. Raw
+// per-side values are reported rather than derived deltas so the
+// report inverts cleanly: diff(B, A) is exactly diff(A, B).Inverse().
+type FuncDelta struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	// CallsA/CallsB are the side call counts (0 on a missing side).
+	CallsA int `json:"calls_a"`
+	CallsB int `json:"calls_b"`
+	// FactorA/FactorB are the side compaction factors: expanded words
+	// executed divided by words stored (traces + dictionaries).
+	FactorA float64 `json:"factor_a"`
+	FactorB float64 `json:"factor_b"`
+	// Appeared lists paths present only in B; Disappeared paths
+	// present only in A. Both sorted by key.
+	Appeared    []PathInfo `json:"appeared"`
+	Disappeared []PathInfo `json:"disappeared"`
+	// RankA/RankB are the top-K path keys, hottest first.
+	RankA []string `json:"rank_a"`
+	RankB []string `json:"rank_b"`
+	// RankDrift is true when RankA and RankB differ.
+	RankDrift bool `json:"rank_drift"`
+}
+
+// Regression is one threshold violation.
+type Regression struct {
+	Func   string `json:"func"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// Report is the full diff of two containers. It marshals to stable
+// JSON: map-free, all slices ordered, byte-identical for identical
+// inputs.
+type Report struct {
+	A    Side `json:"a"`
+	B    Side `json:"b"`
+	TopK int  `json:"top_k"`
+	// CallThreshold / FactorThreshold echo the options the report was
+	// evaluated under.
+	CallThreshold   float64 `json:"call_threshold"`
+	FactorThreshold float64 `json:"factor_threshold"`
+	// Functions holds only functions that differ, sorted by name.
+	// Identical inputs yield an empty list.
+	Functions []FuncDelta `json:"functions"`
+	// Regression is true when any threshold was exceeded.
+	Regression  bool         `json:"regression"`
+	Regressions []Regression `json:"regressions"`
+}
+
+// evaluate applies the thresholds to a delta list. It reads only
+// FuncDelta fields, so inverting the deltas and re-evaluating yields
+// the inverse report's regressions without re-summarizing.
+func evaluate(funcs []FuncDelta, opts Options) (bool, []Regression) {
+	regs := []Regression{}
+	for _, fd := range funcs {
+		switch fd.Status {
+		case StatusAdded:
+			regs = append(regs, Regression{Func: fd.Name, Kind: RegFuncAdded,
+				Detail: fmt.Sprintf("function only in b (%d paths, %d calls)", len(fd.Appeared), fd.CallsB)})
+			continue
+		case StatusRemoved:
+			regs = append(regs, Regression{Func: fd.Name, Kind: RegFuncRemoved,
+				Detail: fmt.Sprintf("function only in a (%d paths, %d calls)", len(fd.Disappeared), fd.CallsA)})
+			continue
+		}
+		if n := len(fd.Appeared); n > 0 {
+			regs = append(regs, Regression{Func: fd.Name, Kind: RegPathAppeared,
+				Detail: fmt.Sprintf("%d path(s) only in b", n)})
+		}
+		if n := len(fd.Disappeared); n > 0 {
+			regs = append(regs, Regression{Func: fd.Name, Kind: RegPathVanished,
+				Detail: fmt.Sprintf("%d path(s) only in a", n)})
+		}
+		if opts.TopK > 0 && fd.RankDrift {
+			regs = append(regs, Regression{Func: fd.Name, Kind: RegRankDrift,
+				Detail: fmt.Sprintf("top-%d hot paths reordered: %v -> %v", opts.TopK, fd.RankA, fd.RankB)})
+		}
+		if opts.CallThreshold >= 0 && fd.CallsA > 0 {
+			rel := math.Abs(float64(fd.CallsB-fd.CallsA)) / float64(fd.CallsA)
+			if rel > opts.CallThreshold {
+				regs = append(regs, Regression{Func: fd.Name, Kind: RegCallCount,
+					Detail: fmt.Sprintf("calls %d -> %d (%+.1f%%, threshold %.1f%%)",
+						fd.CallsA, fd.CallsB, 100*float64(fd.CallsB-fd.CallsA)/float64(fd.CallsA),
+						100*opts.CallThreshold)})
+			}
+		}
+		if opts.FactorThreshold >= 0 && fd.FactorA > 0 {
+			drop := (fd.FactorA - fd.FactorB) / fd.FactorA
+			if drop > opts.FactorThreshold {
+				regs = append(regs, Regression{Func: fd.Name, Kind: RegFactor,
+					Detail: fmt.Sprintf("compaction factor %.2f -> %.2f (-%.1f%%, threshold %.1f%%)",
+						fd.FactorA, fd.FactorB, 100*drop, 100*opts.FactorThreshold)})
+			}
+		}
+	}
+	return len(regs) > 0, regs
+}
+
+// Inverse returns the report of the swapped diff: diff(B, A) computed
+// from this report's data alone. Every A/B field swaps sides,
+// appeared/disappeared and added/removed exchange roles, and the
+// thresholds are re-applied to the swapped deltas — so
+// Containers(ctx, lb, la, b, a, opts) equals r.Inverse() exactly.
+func (r *Report) Inverse() *Report {
+	inv := &Report{
+		A:               r.B,
+		B:               r.A,
+		TopK:            r.TopK,
+		CallThreshold:   r.CallThreshold,
+		FactorThreshold: r.FactorThreshold,
+		Functions:       make([]FuncDelta, len(r.Functions)),
+	}
+	for i, fd := range r.Functions {
+		status := fd.Status
+		switch status {
+		case StatusAdded:
+			status = StatusRemoved
+		case StatusRemoved:
+			status = StatusAdded
+		}
+		inv.Functions[i] = FuncDelta{
+			Name:        fd.Name,
+			Status:      status,
+			CallsA:      fd.CallsB,
+			CallsB:      fd.CallsA,
+			FactorA:     fd.FactorB,
+			FactorB:     fd.FactorA,
+			Appeared:    append([]PathInfo{}, fd.Disappeared...),
+			Disappeared: append([]PathInfo{}, fd.Appeared...),
+			RankA:       append([]string{}, fd.RankB...),
+			RankB:       append([]string{}, fd.RankA...),
+			RankDrift:   fd.RankDrift,
+		}
+	}
+	sort.Slice(inv.Functions, func(i, j int) bool { return inv.Functions[i].Name < inv.Functions[j].Name })
+	inv.Regression, inv.Regressions = evaluate(inv.Functions, Options{
+		TopK:            inv.TopK,
+		CallThreshold:   inv.CallThreshold,
+		FactorThreshold: inv.FactorThreshold,
+	})
+	return inv
+}
+
+// JSON renders the report exactly as the server does (indented, with a
+// trailing newline), so CLI output and /v1/diff responses are
+// byte-comparable.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteHuman renders the report for terminals.
+func (r *Report) WriteHuman(w io.Writer) error {
+	side := func(s Side) string {
+		h := s.ContentHash
+		if h == "" {
+			h = "-"
+		}
+		return fmt.Sprintf("%s (v%d, %d funcs, hash %s)", s.Label, s.Format, s.Functions, h)
+	}
+	if _, err := fmt.Fprintf(w, "a: %s\nb: %s\n", side(r.A), side(r.B)); err != nil {
+		return err
+	}
+	if len(r.Functions) == 0 {
+		_, err := fmt.Fprintln(w, "no differences")
+		return err
+	}
+	for _, fd := range r.Functions {
+		fmt.Fprintf(w, "\n%s [%s]\n", fd.Name, fd.Status)
+		fmt.Fprintf(w, "  calls:  %d -> %d\n", fd.CallsA, fd.CallsB)
+		fmt.Fprintf(w, "  factor: %.2f -> %.2f\n", fd.FactorA, fd.FactorB)
+		for _, p := range fd.Appeared {
+			fmt.Fprintf(w, "  + path %s (len %d, %d calls)\n", p.Key, p.Len, p.Calls)
+		}
+		for _, p := range fd.Disappeared {
+			fmt.Fprintf(w, "  - path %s (len %d, %d calls)\n", p.Key, p.Len, p.Calls)
+		}
+		if fd.RankDrift {
+			fmt.Fprintf(w, "  rank:   %v -> %v\n", fd.RankA, fd.RankB)
+		}
+	}
+	fmt.Fprintln(w)
+	if !r.Regression {
+		_, err := fmt.Fprintln(w, "within thresholds: no regression")
+		return err
+	}
+	fmt.Fprintf(w, "REGRESSIONS (%d):\n", len(r.Regressions))
+	for _, reg := range r.Regressions {
+		if _, err := fmt.Fprintf(w, "  %-20s %-18s %s\n", reg.Func, reg.Kind, reg.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// GET /v1/diff — profile regression detection across two live mounts.
+//
+// The endpoint reuses internal/diff verbatim, so a response body is
+// byte-identical to what `twpp-diff -json` prints for the same two
+// containers (the CheckDiffParity oracle holds the two implementations
+// to that). Caching follows the single-mount query discipline, keyed
+// on BOTH sides: the entity tag is "hashA-hashB" from the two live
+// content hashes, If-None-Match revalidates against it before any
+// decode work, and rendered reports replay from the shared response
+// cache. Either side being v1 (no content hash) degrades to
+// recompute-every-time, exactly like v1 single-mount queries.
+//
+// A mount being refreshed mid-flight is safe twice over: the diff
+// engine brackets each side's summary with its content hash and
+// retries on movement, and the handler only caches when the hashes it
+// diffed are still the mounts' current hashes.
+
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"twpp/internal/cli"
+	"twpp/internal/diff"
+)
+
+// queryFloat parses an optional float query parameter.
+func queryFloat(r *http.Request, key string, def float64) (float64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, cli.Usagef("bad %s %q", key, s)
+	}
+	return v, nil
+}
+
+// diffETag combines two mounts' live content hashes into one strong
+// tag (unquoted), formatted exactly like the report's snapshot hashes
+// so the two are comparable; "" when either side has none (v1).
+func diffETag(a, b *Mount) string {
+	ha, okA := a.file.ContentHash()
+	hb, okB := b.file.ContentHash()
+	if !okA || !okB {
+		return ""
+	}
+	return fmt.Sprintf("%016x-%016x", ha, hb)
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	nameA, nameB := q.Get("a"), q.Get("b")
+	if nameA == "" || nameB == "" {
+		return cli.Usagef("diff requires a and b mount parameters")
+	}
+	ma, err := s.cat.Get(nameA)
+	if err != nil {
+		return fmt.Errorf("mount a: %w", err)
+	}
+	mb, err := s.cat.Get(nameB)
+	if err != nil {
+		return fmt.Errorf("mount b: %w", err)
+	}
+	// Attribute the request (and any decode failure) to side a.
+	if ref, ok := r.Context().Value(mountRefKey{}).(*mountRef); ok {
+		ref.m = ma
+	}
+
+	opts := diff.DefaultOptions()
+	if opts.TopK, err = queryInt(r, "k", opts.TopK); err != nil {
+		return err
+	}
+	if opts.CallThreshold, err = queryFloat(r, "call_threshold", opts.CallThreshold); err != nil {
+		return err
+	}
+	if opts.FactorThreshold, err = queryFloat(r, "factor_threshold", opts.FactorThreshold); err != nil {
+		return err
+	}
+
+	etag := diffETag(ma, mb)
+	var key string
+	if etag != "" {
+		if etagMatches(r.Header.Get("If-None-Match"), `"`+etag+`"`) {
+			if ref, ok := r.Context().Value(mountRefKey{}).(*mountRef); ok {
+				ref.status = http.StatusNotModified
+			}
+			if ma.mResp304 != nil {
+				ma.mResp304.Inc()
+			}
+			w.Header().Set("ETag", `"`+etag+`"`)
+			w.WriteHeader(http.StatusNotModified)
+			return nil
+		}
+		key = "diff\x00" + etag + "\x00" + r.URL.RequestURI()
+		if s.resp != nil {
+			if e := s.resp.get(key); e != nil {
+				s.mRespHits.Inc()
+				w.Header().Set("Content-Type", e.contentType)
+				w.Header().Set("ETag", e.etag)
+				_, werr := w.Write(e.body)
+				return werr
+			}
+			s.mRespMisses.Inc()
+		}
+	}
+
+	report, err := diff.Containers(r.Context(), nameA, nameB, ma.file, mb.file, opts)
+	if err != nil {
+		return err
+	}
+	// A regression is data, not a request failure: the report always
+	// ships as 200 and CI reads the "regression" field (the CLI turns
+	// it into exit code 1).
+	rec := newResponseRecorder()
+	if err := writeJSON(rec, report); err != nil {
+		return err
+	}
+	body := rec.buf.Bytes()
+	// Tag the response with what was actually diffed — the engine's
+	// settled snapshot hashes — and cache only when those are still
+	// the mounts' current hashes (no refresh raced the diff).
+	repTag := ""
+	if report.A.ContentHash != "" && report.B.ContentHash != "" {
+		repTag = report.A.ContentHash + "-" + report.B.ContentHash
+	}
+	if s.resp != nil && key != "" && repTag == etag && rec.status == http.StatusOK {
+		s.resp.put(&respEntry{
+			key:         key,
+			etag:        `"` + repTag + `"`,
+			contentType: rec.hdr.Get("Content-Type"),
+			body:        append([]byte(nil), body...),
+		})
+	}
+	if ct := rec.hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if repTag != "" {
+		w.Header().Set("ETag", `"`+repTag+`"`)
+	}
+	_, werr := w.Write(body)
+	return werr
+}

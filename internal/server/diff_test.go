@@ -1,0 +1,164 @@
+// Handler-level tests for GET /v1/diff: parameter validation, the
+// dual-hash ETag/304 discipline, response-cache stability, and the
+// no-5xx guarantee on damaged mounts.
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newDiffServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Options{})
+	if err := s.Mount("base", writeFixture(t, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Mount("next", writeFixture(t, 30)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestDiffHandlerParams(t *testing.T) {
+	s := newDiffServer(t)
+	cases := []struct {
+		name, path string
+		status     int
+		code       string
+	}{
+		{"no params", "/v1/diff", http.StatusBadRequest, "usage"},
+		{"missing b", "/v1/diff?a=base", http.StatusBadRequest, "usage"},
+		{"missing a", "/v1/diff?b=base", http.StatusBadRequest, "usage"},
+		{"unknown mount a", "/v1/diff?a=ghost&b=base", http.StatusNotFound, "not_found"},
+		{"unknown mount b", "/v1/diff?a=base&b=ghost", http.StatusNotFound, "not_found"},
+		{"bad k", "/v1/diff?a=base&b=next&k=many", http.StatusBadRequest, "usage"},
+		{"bad call threshold", "/v1/diff?a=base&b=next&call_threshold=x", http.StatusBadRequest, "usage"},
+		{"bad factor threshold", "/v1/diff?a=base&b=next&factor_threshold=", http.StatusOK, ""},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rec := getH(s, tc.path, nil)
+			if rec.Code != tc.status {
+				t.Fatalf("GET %s: %d, want %d\n%s", tc.path, rec.Code, tc.status, rec.Body.Bytes())
+			}
+			if tc.code != "" && errCode(t, rec.Body.Bytes()) != tc.code {
+				t.Fatalf("GET %s: code %q, want %q", tc.path, errCode(t, rec.Body.Bytes()), tc.code)
+			}
+		})
+	}
+}
+
+// A mount diffed against itself is the canonical empty report: 200
+// (emptiness is data, not an error), no function deltas, regression
+// false.
+func TestDiffHandlerSelfDiffEmpty(t *testing.T) {
+	s := newDiffServer(t)
+	rec := getH(s, "/v1/diff?a=base&b=base", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("self diff: %d\n%s", rec.Code, rec.Body.Bytes())
+	}
+	var rep struct {
+		Functions  []json.RawMessage `json:"functions"`
+		Regression bool              `json:"regression"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Functions) != 0 || rep.Regression {
+		t.Fatalf("self diff not empty:\n%s", rec.Body.Bytes())
+	}
+}
+
+// The dual-hash entity tag: stable across repeats, honored by
+// If-None-Match, and byte-identical replay from the response cache.
+func TestDiffHandlerETagAndCache(t *testing.T) {
+	s := newDiffServer(t)
+	first := getH(s, "/v1/diff?a=base&b=next", nil)
+	if first.Code != http.StatusOK {
+		t.Fatalf("diff: %d\n%s", first.Code, first.Body.Bytes())
+	}
+	etag := first.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("v2 diff response carries no ETag")
+	}
+	again := getH(s, "/v1/diff?a=base&b=next", nil)
+	if again.Code != http.StatusOK || !bytes.Equal(again.Body.Bytes(), first.Body.Bytes()) {
+		t.Fatalf("repeat diff not byte-stable: %d", again.Code)
+	}
+	if got := again.Header().Get("ETag"); got != etag {
+		t.Fatalf("ETag moved with static mounts: %q -> %q", etag, got)
+	}
+	if s.mRespHits.Value() == 0 {
+		t.Error("repeat diff bypassed the response cache")
+	}
+	rec := getH(s, "/v1/diff?a=base&b=next", map[string]string{"If-None-Match": etag})
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("If-None-Match %s: %d, want 304", etag, rec.Code)
+	}
+	// Different thresholds are a different resource: same tag space,
+	// separate cache entries, and the report carries the knobs back.
+	loose := getH(s, "/v1/diff?a=base&b=next&call_threshold=9.5&k=1", nil)
+	if loose.Code != http.StatusOK {
+		t.Fatalf("loose diff: %d\n%s", loose.Code, loose.Body.Bytes())
+	}
+	if bytes.Equal(loose.Body.Bytes(), first.Body.Bytes()) {
+		t.Fatal("threshold params ignored: identical report")
+	}
+	if !bytes.Contains(loose.Body.Bytes(), []byte(`"call_threshold": 9.5`)) {
+		t.Fatalf("report does not echo call_threshold:\n%s", loose.Body.Bytes())
+	}
+}
+
+// Damaged mounted bytes must never surface as 5xx: flip bits across a
+// mounted copy and require every /v1/diff response to be a 2xx or a
+// structured 4xx — with at least one 422 proving the corrupt path is
+// actually exercised.
+func TestDiffHandlerCorruptIs422(t *testing.T) {
+	good := writeFixture(t, 12)
+	img, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw422 := false
+	for i := 0; i < len(img); i += len(img)/24 + 1 {
+		bad := append([]byte(nil), img...)
+		bad[i] ^= 0x10
+		path := filepath.Join(t.TempDir(), "bad.twpp")
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := New(Options{})
+		if err := s.Mount("good", good); err != nil {
+			s.Close()
+			t.Fatal(err)
+		}
+		if err := s.Mount("bad", path); err != nil {
+			// The flip broke the envelope; mounting rejected it with a
+			// structured error before serving could start. Fine.
+			s.Close()
+			continue
+		}
+		rec := getH(s, "/v1/diff?a=good&b=bad", nil)
+		if rec.Code >= http.StatusInternalServerError {
+			t.Fatalf("flip at %d: /v1/diff answered %d\n%s", i, rec.Code, rec.Body.Bytes())
+		}
+		if rec.Code == http.StatusUnprocessableEntity {
+			saw422 = true
+			if c := errCode(t, rec.Body.Bytes()); c != "corrupt" && c != "truncated" && c != "limit" {
+				t.Fatalf("flip at %d: 422 with code %q", i, c)
+			}
+		}
+		s.Close()
+	}
+	if !saw422 {
+		t.Fatal("no bit flip produced a 422: the corrupt path went untested")
+	}
+}

@@ -1,0 +1,34 @@
+package server_test
+
+import (
+	"testing"
+
+	"twpp/internal/testkit"
+)
+
+// The diff oracle: for every generator shape, GET /v1/diff over two
+// mounted profiles must be byte-identical to the in-process
+// diff.Containers call on the same two files, cache-stable across
+// repeated requests, and revalidable via If-None-Match.
+func TestDiffParityAllShapes(t *testing.T) {
+	for _, shape := range testkit.Shapes() {
+		t.Run(shape.String(), func(t *testing.T) {
+			t.Parallel()
+			wA := testkit.Generate(testkit.Config{Seed: 6000 + int64(shape), Shape: shape})
+			wB := testkit.Generate(testkit.Config{Seed: 7000 + int64(shape), Shape: shape})
+			if err := testkit.CheckDiffParity(wA, wB); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Two generations of the same trace stream diff empty through the
+// server too, not just in-process.
+func TestDiffParityIdenticalContent(t *testing.T) {
+	w := testkit.Generate(testkit.Config{Seed: 8421, Shape: testkit.Periodic})
+	w2 := testkit.Generate(testkit.Config{Seed: 8421, Shape: testkit.Periodic})
+	if err := testkit.CheckDiffParity(w, w2); err != nil {
+		t.Fatal(err)
+	}
+}

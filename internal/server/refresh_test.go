@@ -5,12 +5,17 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
+	"twpp/internal/diff"
 	"twpp/internal/segment"
+	"twpp/internal/wppfile"
 )
 
 func postH(s *Server, path string) *httptest.ResponseRecorder {
@@ -129,6 +134,124 @@ func TestRefreshAll(t *testing.T) {
 	}
 	if rr.Mounts != 2 || rr.Refreshed != 1 {
 		t.Fatalf("refresh-all = %+v, want 2 mounts / 1 refreshed", rr)
+	}
+}
+
+// A /v1/diff under concurrent refresh must never serve a mixed
+// generation: every 200 body is byte-identical to the diff of
+// (a, b@gen1) or (a, b@gen2) — nothing in between. The engine's
+// content-hash bracketing plus the handler's settled-snapshot cache
+// discipline are what this pins down; the response cache is disabled
+// so every request recomputes and can race the refresh.
+func TestDiffServesConsistentGenerationsDuringRefresh(t *testing.T) {
+	aPath := writeFixture(t, 12)
+	dir := t.TempDir() + "/seg"
+	if _, err := segment.Write(dir, buildFixtureTWPP(30), segment.WriteOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{ResponseCacheEntries: -1})
+	if err := s.Mount("a", aPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Mount("b", dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	// ref computes the generation's reference report in-process, with
+	// the same labels the handler uses, through freshly opened
+	// containers pinned to the directory's current generation.
+	ref := func() []byte {
+		t.Helper()
+		fa, err := wppfile.OpenCompacted(aPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fa.Close()
+		fb, err := segment.Open(dir, wppfile.OpenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fb.Close()
+		rep, err := diff.Containers(context.Background(), "a", "b", fa, fb, diff.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	r1 := ref()
+
+	var (
+		mu     sync.Mutex
+		bodies = map[string]int{}
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := getH(s, "/v1/diff?a=a&b=b", nil)
+				if rec.Code != http.StatusOK {
+					t.Errorf("/v1/diff mid-refresh: %d\n%s", rec.Code, rec.Body.Bytes())
+					return
+				}
+				mu.Lock()
+				bodies[rec.Body.String()]++
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Pin a guaranteed gen1 observation through the handler before the
+	// append (the workers race the refresh; this one cannot).
+	before := getH(s, "/v1/diff?a=a&b=b", nil)
+	if before.Code != http.StatusOK || !bytes.Equal(before.Body.Bytes(), r1) {
+		t.Fatalf("pre-append diff is not the gen1 report: %d\n%s", before.Code, before.Body.Bytes())
+	}
+
+	// Another writer seals a second session, then the refresh flips
+	// the mount's generation while the hammering continues.
+	if _, err := segment.Append(dir, buildFixtureTWPP(50), segment.WriteOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rec := postH(s, "/v1/b/refresh")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST refresh: %d\n%s", rec.Code, rec.Body.Bytes())
+	}
+	// Guarantee at least one fully post-refresh observation before
+	// stopping the fleet.
+	after := getH(s, "/v1/diff?a=a&b=b", nil)
+	if after.Code != http.StatusOK {
+		t.Fatalf("post-refresh diff: %d\n%s", after.Code, after.Body.Bytes())
+	}
+	close(stop)
+	wg.Wait()
+
+	r2 := ref()
+	if bytes.Equal(r1, r2) {
+		t.Fatal("appended generation did not change the diff; the test is vacuous")
+	}
+	if !bytes.Equal(after.Body.Bytes(), r2) {
+		t.Fatalf("post-refresh diff is not the gen2 report:\n%s", after.Body.Bytes())
+	}
+	// Both generations are pinned by the synchronous requests above;
+	// every concurrent body must be exactly one of the two.
+	for body, n := range bodies {
+		if body != string(r1) && body != string(r2) {
+			t.Fatalf("mixed-generation diff served %d time(s):\n%s", n, body)
+		}
 	}
 }
 

@@ -208,6 +208,9 @@ func New(opts Options) *Server {
 	// The /v1/{mount}/... namespace addresses a mount in the path;
 	// the legacy flat routes above keep working with ?file=.
 	mux.HandleFunc("GET /mounts", s.limited(s.handleMounts))
+	// Cross-mount diff: names both sides in the query string, so it
+	// does its own dual-hash ETag/cache handling instead of cached().
+	mux.HandleFunc("GET /v1/diff", s.limited(s.handleDiff))
 	mux.HandleFunc("GET /v1/{mount}/funcs", s.limited(s.cached(s.handleFuncs)))
 	mux.HandleFunc("GET /v1/{mount}/trace/{fn}", s.limited(s.cached(s.handleTrace)))
 	mux.HandleFunc("GET /v1/{mount}/stats/{fn}", s.limited(s.cached(s.handleStats)))

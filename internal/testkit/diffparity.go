@@ -1,0 +1,125 @@
+package testkit
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	"twpp/internal/core"
+	"twpp/internal/diff"
+	"twpp/internal/server"
+	"twpp/internal/trace"
+	"twpp/internal/wpp"
+	"twpp/internal/wppfile"
+)
+
+// CheckDiffParity is the diff oracle: the server's /v1/diff across two
+// live mounts must be byte-equivalent to the in-process diff of the
+// same two containers. It compacts both raw WPPs to files, runs
+// diff.Containers directly, mounts both files in a twpp-serve Server,
+// and requires
+//
+//   - GET /v1/diff?a=a&b=b returns 200 (a regression is report data,
+//     not an HTTP failure) with exactly the in-process JSON bytes,
+//   - a repeated GET (served from the response cache) is
+//     byte-identical, and
+//   - If-None-Match revalidation with the returned ETag answers 304.
+func CheckDiffParity(wA, wB *trace.RawWPP) error {
+	dir, err := os.MkdirTemp("", "testkit-diff-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	pathA := filepath.Join(dir, "a.twpp")
+	pathB := filepath.Join(dir, "b.twpp")
+	for _, side := range []struct {
+		w    *trace.RawWPP
+		path string
+	}{{wA, pathA}, {wB, pathB}} {
+		c, _ := wpp.Compact(side.w)
+		if err := wppfile.WriteCompacted(side.path, core.FromCompacted(c)); err != nil {
+			return fmt.Errorf("write %s: %w", filepath.Base(side.path), err)
+		}
+	}
+
+	fa, err := wppfile.OpenCompacted(pathA)
+	if err != nil {
+		return fmt.Errorf("open a: %w", err)
+	}
+	defer fa.Close()
+	fb, err := wppfile.OpenCompacted(pathB)
+	if err != nil {
+		return fmt.Errorf("open b: %w", err)
+	}
+	defer fb.Close()
+	report, err := diff.Containers(context.Background(), "a", "b", fa, fb, diff.DefaultOptions())
+	if err != nil {
+		return fmt.Errorf("in-process diff: %w", err)
+	}
+	want, err := report.JSON()
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(server.Options{CacheEntries: 8})
+	defer srv.Close()
+	if err := srv.Mount("a", pathA); err != nil {
+		return fmt.Errorf("mount a: %w", err)
+	}
+	if err := srv.Mount("b", pathB); err != nil {
+		return fmt.Errorf("mount b: %w", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const uri = "/v1/diff?a=a&b=b"
+	var first []byte
+	var etag string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + uri)
+		if err != nil {
+			return err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s #%d: status %d: %s", uri, i, resp.StatusCode, body)
+		}
+		if i == 0 {
+			first = body
+			etag = resp.Header.Get("ETag")
+		} else if !bytes.Equal(first, body) {
+			return fmt.Errorf("GET %s: responses differ between requests", uri)
+		}
+	}
+	if !bytes.Equal(first, want) {
+		return fmt.Errorf("GET %s: server response differs from in-process diff\nserver: %s\nlocal:  %s", uri, first, want)
+	}
+	if etag == "" {
+		return fmt.Errorf("GET %s: v2 diff response carries no ETag", uri)
+	}
+	req, err := http.NewRequest(http.MethodGet, ts.URL+uri, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		return fmt.Errorf("GET %s with If-None-Match %s: status %d, want 304", uri, etag, resp.StatusCode)
+	}
+	return nil
+}
