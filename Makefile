@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap bench-scale bench-scale-short bench-segments bench-ingest serve-test ingest-test diff-test diff-check fuzz-seed ci
+.PHONY: build test race vet lint vuln cover bench bench-json bench-mem bench-serve bench-mmap bench-scale bench-scale-short bench-segments bench-ingest serve-test ingest-test diff-test diff-check passes-test fuzz-seed ci
 
 build:
 	$(GO) build ./...
@@ -155,10 +155,19 @@ diff-check:
 	if [ $$rc -ne 1 ]; then echo "diff-check: regressed profile exited $$rc, want 1"; exit 1; fi; \
 	echo "diff-check: regressed profile flagged (exit 1)"
 
+# Analysis-pass gate: the registry and its passes (including the
+# k-iteration path profiler), the cross-container matrix, and the
+# twpp-query golden/exit-code tests — under the race detector. (The
+# analyze-endpoint parity oracle lives in ./internal/server/ and runs
+# under serve-test.)
+passes-test:
+	$(GO) test -race ./internal/passes/ ./cmd/twpp-query/
+
 # Run the fuzz targets on their seed corpora only (no fuzzing time;
 # the seeded cases run as ordinary tests): the compaction determinism
 # targets at the root, the hostile-input decode targets in wppfile and
-# encoding, and the segmented-container manifest decoder.
+# encoding, the segmented-container manifest decoder, the ingest wire
+# frame, the diff engine, and the analysis-pass dispatcher.
 fuzz-seed:
 	$(GO) test -run 'FuzzParallelCompactDeterminism|FuzzStreamCompactDeterminism' .
 	$(GO) test -run 'FuzzDecodeCompacted|FuzzStreamRoundTrip' ./internal/wppfile/
@@ -166,5 +175,6 @@ fuzz-seed:
 	$(GO) test -run 'FuzzManifestDecode' ./internal/segment/
 	$(GO) test -run 'FuzzIngestFrame' ./internal/ingest/
 	$(GO) test -run 'FuzzDiffCompacted' ./internal/diff/
+	$(GO) test -run 'FuzzAnalyzePass' ./internal/passes/
 
-ci: lint vuln build test race serve-test ingest-test diff-test diff-check fuzz-seed cover bench-mem bench-mmap bench-scale-short
+ci: lint vuln build test race serve-test ingest-test diff-test diff-check passes-test fuzz-seed cover bench-mem bench-mmap bench-scale-short

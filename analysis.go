@@ -2,19 +2,30 @@ package twpp
 
 import (
 	"context"
+	"fmt"
 
 	"twpp/internal/cfg"
 	"twpp/internal/currency"
 	"twpp/internal/dataflow"
+	"twpp/internal/passes"
 	"twpp/internal/redundancy"
 	"twpp/internal/slicing"
 	"twpp/internal/wpp"
 )
 
-// This file exposes the paper's three applications (§4.3) through the
-// facade: profile-guided load-redundancy analysis, dynamic slicing,
-// and dynamic currency determination, plus the underlying
-// profile-limited GEN-KILL query engine.
+// This file exposes the repo's analyses through the facade, in two
+// layers with no third dispatch path:
+//
+//   - Container-level analyses (anything that answers a question about
+//     an opened Container) are registered passes in internal/passes;
+//     the facade dispatches them through RunAnalysis — the same
+//     registry the HTTP server and twpp-query dispatch through — with
+//     typed conveniences (KPathProfile) for the common ones.
+//   - TGraph-level helpers (Query, QueryAt, Currency, slicing,
+//     redundancy — the paper's §4.3 applications) are facade-only:
+//     they operate on an in-memory dynamic CFG the caller already
+//     built, carry non-JSON inputs like effect functions and code
+//     motions, and are deliberately not passes.
 
 // Re-exported analysis types.
 type (
@@ -50,10 +61,85 @@ const (
 	KillFact = dataflow.Kill
 )
 
+// Analysis-pass dispatch: the registry of container-level analyses.
+
+// AnalysisInfo describes one registered analysis pass: its name,
+// summary, dedicated HTTP route (when it has one), and parameters.
+type AnalysisInfo = passes.Info
+
+// AnalysisParamDoc documents one parameter of a registered pass.
+type AnalysisParamDoc = passes.ParamDoc
+
+// KPathsResult is a function's k-iteration Ball-Larus path profile
+// (the kpaths pass).
+type KPathsResult = passes.KPathsResult
+
+// KPathEntry is one k-iteration path window of a KPathsResult.
+type KPathEntry = passes.KPathEntry
+
+// Result shapes of the other registered passes, for callers that
+// type-assert RunAnalysis results.
+type (
+	// FuncsResult is the funcs pass's listing.
+	FuncsResult = passes.FuncsResult
+	// FuncInfo is one function's row in a FuncsResult.
+	FuncInfo = passes.FuncInfo
+	// TraceResult is the trace pass's full extraction of one function.
+	TraceResult = passes.TraceResult
+	// TraceInfo is one unique trace in a TraceResult.
+	TraceInfo = passes.TraceInfo
+	// BlockInfo is one dynamic block of a TraceInfo.
+	BlockInfo = passes.BlockInfo
+	// StatsResult is the stats pass's per-function summary.
+	StatsResult = passes.StatsResult
+	// CFGResult is the cfg pass's dynamic CFG rendering.
+	CFGResult = passes.CFGResult
+	// CFGNode is one node of a CFGResult.
+	CFGNode = passes.CFGNode
+	// GenKillQueryResult is the query pass's resolution (the
+	// serializable counterpart of QueryResult).
+	GenKillQueryResult = passes.QueryResult
+)
+
+// Analyses lists every registered analysis pass, in name order.
+func Analyses() []AnalysisInfo { return passes.Infos() }
+
+// RunAnalysis executes a registered analysis pass against an opened
+// container — the same dispatch the HTTP /analyze endpoint and
+// twpp-query use, so results agree byte-for-byte across surfaces.
+// source labels the container in the result (the JSON "file" field);
+// params holds the pass's parameters as strings, exactly as they would
+// appear in a query string. The result is the pass's JSON-marshalable
+// result struct.
+func RunAnalysis(ctx context.Context, c Container, pass, source string, params map[string]string) (any, error) {
+	return passes.Run(ctx, pass, c, passes.Params{Source: source, Values: params})
+}
+
+// KPathProfile computes function fn's k-iteration Ball-Larus path
+// profile from the container's timestamp series: every window of k
+// consecutive loop iterations with execution counts, hottest first.
+// At k=1 this is the per-iteration acyclic path profile.
+func KPathProfile(c Container, fn FuncID, k int) (*KPathsResult, error) {
+	return KPathProfileContext(context.Background(), c, fn, k)
+}
+
+// KPathProfileContext is KPathProfile with cooperative cancellation.
+func KPathProfileContext(ctx context.Context, c Container, fn FuncID, k int) (*KPathsResult, error) {
+	res, err := RunAnalysis(ctx, c, "kpaths", "", map[string]string{
+		"func": fmt.Sprint(int(fn)),
+		"k":    fmt.Sprint(k),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*KPathsResult), nil
+}
+
 // Query answers the profile-limited data flow query <T(n), n>_d: does
 // the fact defined by effect hold immediately before every execution
 // of block n in the given dynamic CFG? effect maps each block to its
-// GEN/KILL behaviour.
+// GEN/KILL behaviour. Facade-only: g is an in-memory dynamic CFG and
+// effect is a function, so this helper is not a registered pass.
 func Query(g *TGraph, effect func(BlockID) Effect, n BlockID) (*QueryResult, error) {
 	return dataflow.SolveAll(g, dataflow.ProblemFunc(effect), n)
 }

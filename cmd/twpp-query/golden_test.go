@@ -68,6 +68,45 @@ func TestGoldenExtractAndQuery(t *testing.T) {
 	checkGolden(t, "query.golden", buf.Bytes())
 }
 
+// The k-iteration profile of the test program's loop function: w's
+// while-loop iterates 5 times per call, so k=2 windows pair
+// consecutive iterations.
+func TestGoldenKPaths(t *testing.T) {
+	p := writeTWPP(t, t.TempDir())
+	var buf bytes.Buffer
+	if err := run(&buf, queryConfig{in: p, fn: 1, kpaths: 2}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "kpaths.golden", buf.Bytes())
+}
+
+// -kpaths exit codes follow the same classifier as the rest of the
+// CLI: malformed k values are usage (2), an absent function is a
+// plain failure (1).
+func TestKPathsExitCodes(t *testing.T) {
+	p := writeTWPP(t, t.TempDir())
+	cases := []struct {
+		name string
+		c    queryConfig
+		want int
+	}{
+		{"negative k is usage", queryConfig{in: p, fn: 1, kpaths: -1}, cli.ExitUsage},
+		{"oversized k is usage", queryConfig{in: p, fn: 1, kpaths: 65}, cli.ExitUsage},
+		{"negative top is usage", queryConfig{in: p, fn: 1, kpaths: 1, top: -2}, cli.ExitUsage},
+		{"absent function fails", queryConfig{in: p, fn: 99, kpaths: 1}, cli.ExitFailure},
+		{"valid profile succeeds", queryConfig{in: p, fn: 1, kpaths: 1}, cli.ExitOK},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(&bytes.Buffer{}, tc.c)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Fatalf("exit code %d, want %d (err: %v)", got, tc.want, err)
+			}
+		})
+	}
+}
+
 // Exit codes are part of the CLI contract: usage problems exit 2,
 // corrupt inputs 3, truncated inputs 4 — asserted through the same
 // classifier main uses.

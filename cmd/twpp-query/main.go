@@ -1,23 +1,29 @@
 // Command twpp-query answers queries against a compacted TWPP
 // container — a single .twpp file or a segmented container directory
 // (auto-detected by its manifest): listing functions (hottest first),
-// extracting one function's path traces, and running profile-limited
-// GEN-KILL data flow queries over a chosen trace.
+// extracting one function's path traces, running profile-limited
+// GEN-KILL data flow queries over a chosen trace, and computing
+// k-iteration Ball-Larus path profiles.
 //
 // Usage:
 //
 //	twpp-query -in trace.twpp -list [-mmap] [-v]
 //	twpp-query -in trace.twppd -func 3 [-trace 0] [-show] [-cache 64]
 //	twpp-query -in trace.twpp -func 3 -trace 0 -block 4 -gen 1 -kill 6
+//	twpp-query -in trace.twpp -func 3 -kpaths 2 [-top 10]
 //
-// -cache N keeps up to N decoded function blocks in a sharded LRU so
-// repeated extractions of hot functions skip I/O and decode. -mmap
-// maps the file read-only instead of using positioned reads. -v first
-// prints a header describing the container: format version, function
-// count, and per-section sizes.
+// Every query dispatches through the analysis-pass registry
+// (internal/passes) — the same passes the twpp-serve HTTP endpoints
+// run — so the underlying results agree across surfaces; this command
+// renders them as text. -cache N keeps up to N decoded function
+// blocks in a sharded LRU so repeated extractions of hot functions
+// skip I/O and decode. -mmap maps the file read-only instead of using
+// positioned reads. -v first prints a header describing the
+// container: format version, function count, and per-section sizes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,9 +32,7 @@ import (
 	"strings"
 
 	"twpp"
-	"twpp/internal/cfg"
 	"twpp/internal/cli"
-	"twpp/internal/dataflow"
 )
 
 // queryConfig carries the validated flag values run consumes.
@@ -41,6 +45,8 @@ type queryConfig struct {
 	block   int
 	gen     string
 	kill    string
+	kpaths  int
+	top     int
 	cache   int
 	mmap    bool
 	verbose bool
@@ -56,11 +62,18 @@ func main() {
 	flag.IntVar(&c.block, "block", 0, "query block: ask whether the fact holds before its executions")
 	flag.StringVar(&c.gen, "gen", "", "comma-separated block ids that generate the fact")
 	flag.StringVar(&c.kill, "kill", "", "comma-separated block ids that kill the fact")
+	flag.IntVar(&c.kpaths, "kpaths", 0, "compute the k-iteration path profile with this window length")
+	flag.IntVar(&c.top, "top", 0, "with -kpaths, keep only the top N paths (0 = all)")
 	flag.IntVar(&c.cache, "cache", 0, "decoded-block LRU cache entries (0 = no cache)")
 	flag.BoolVar(&c.mmap, "mmap", false, "read through a read-only memory mapping")
 	flag.BoolVar(&c.verbose, "v", false, "print a container header: format version and section sizes")
 	flag.Parse()
 	cli.Exit("twpp-query", run(os.Stdout, c))
+}
+
+// analyze dispatches one registered pass against the opened container.
+func analyze(c twpp.Container, in, pass string, params map[string]string) (any, error) {
+	return twpp.RunAnalysis(context.Background(), c, pass, in, params)
 }
 
 func run(out io.Writer, c queryConfig) error {
@@ -88,14 +101,14 @@ func run(out io.Writer, c queryConfig) error {
 	}
 
 	if c.list {
+		res, err := analyze(f, c.in, "funcs", nil)
+		if err != nil {
+			return err
+		}
+		funcs := res.(*twpp.FuncsResult)
 		fmt.Fprintf(out, "%-8s %-24s %s\n", "id", "name", "calls")
-		names := f.Names()
-		for _, id := range f.Functions() {
-			name := fmt.Sprintf("func%d", id)
-			if int(id) < len(names) {
-				name = names[id]
-			}
-			fmt.Fprintf(out, "%-8d %-24s %d\n", id, name, f.CallCount(id))
+		for _, fi := range funcs.Functions {
+			fmt.Fprintf(out, "%-8d %-24s %d\n", fi.ID, fi.Name, fi.Calls)
 		}
 		return nil
 	}
@@ -103,16 +116,30 @@ func run(out io.Writer, c queryConfig) error {
 		return cli.Usagef("need -list or -func")
 	}
 
-	ft, err := f.ExtractFunction(twpp.FuncID(fn))
+	if c.kpaths != 0 {
+		res, err := analyze(f, c.in, "kpaths", map[string]string{
+			"func": strconv.Itoa(fn),
+			"k":    strconv.Itoa(c.kpaths),
+			"top":  strconv.Itoa(c.top),
+		})
+		if err != nil {
+			return err
+		}
+		printKPaths(out, res.(*twpp.KPathsResult))
+		return nil
+	}
+
+	res, err := analyze(f, c.in, "trace", map[string]string{"func": strconv.Itoa(fn)})
 	if err != nil {
 		return err
 	}
+	tres := res.(*twpp.TraceResult)
 	fmt.Fprintf(out, "function %d: %d calls, %d unique traces, %d dictionaries\n",
-		fn, ft.CallCount, len(ft.Traces), len(ft.Dicts))
-	if traceIx < 0 || traceIx >= len(ft.Traces) {
+		fn, tres.Calls, len(tres.Traces), tres.Dicts)
+	if traceIx < 0 || traceIx >= len(tres.Traces) {
 		return cli.Usagef("trace index %d out of range", traceIx)
 	}
-	tr := ft.Traces[traceIx]
+	tr := tres.Traces[traceIx]
 	fmt.Fprintf(out, "trace %d: length %d, %d distinct dynamic blocks\n", traceIx, tr.Len, len(tr.Blocks))
 	if c.show {
 		for _, bt := range tr.Blocks {
@@ -121,44 +148,42 @@ func run(out io.Writer, c queryConfig) error {
 	}
 
 	if block := c.block; block > 0 {
-		gens, err := parseBlocks(c.gen)
+		res, err := analyze(f, c.in, "query", map[string]string{
+			"func":  strconv.Itoa(fn),
+			"trace": strconv.Itoa(traceIx),
+			"block": strconv.Itoa(block),
+			"gen":   c.gen,
+			"kill":  c.kill,
+		})
 		if err != nil {
 			return err
 		}
-		kills, err := parseBlocks(c.kill)
-		if err != nil {
-			return err
-		}
-		g, err := twpp.DynamicCFG(ft, traceIx)
-		if err != nil {
-			return err
-		}
-		prob := &dataflow.GenKillProblem{GenBlocks: gens, KillBlocks: kills}
-		res, err := dataflow.SolveAll(g, prob, twpp.BlockID(block))
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "query <T(%d), %d>: holds %s\n", block, block, res.Holds())
-		fmt.Fprintf(out, "  true:       %s (%d)\n", res.True, res.True.Count())
-		fmt.Fprintf(out, "  false:      %s (%d)\n", res.False, res.False.Count())
-		fmt.Fprintf(out, "  unresolved: %s (%d)\n", res.Unresolved, res.Unresolved.Count())
+		q := res.(*twpp.GenKillQueryResult)
+		fmt.Fprintf(out, "query <T(%d), %d>: holds %s\n", block, block, q.Holds)
+		fmt.Fprintf(out, "  true:       %s (%d)\n", q.True, q.TrueCount)
+		fmt.Fprintf(out, "  false:      %s (%d)\n", q.False, q.FalseCount)
+		fmt.Fprintf(out, "  unresolved: %s (%d)\n", q.Unresolved, q.UnresolvedCount)
 		fmt.Fprintf(out, "  frequency %.1f%%, %d queries, %d steps\n",
-			100*res.Frequency(), res.Queries, res.Steps)
+			100*q.Frequency, q.Queries, q.Steps)
 	}
 	return nil
 }
 
-func parseBlocks(s string) (map[cfg.BlockID]bool, error) {
-	out := map[cfg.BlockID]bool{}
-	if s == "" {
-		return out, nil
-	}
-	for _, p := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad block id %q: %w", p, err)
+// printKPaths renders a k-iteration path profile: header, then one row
+// per path window, hottest first — iteration paths joined with " | ",
+// blocks within an iteration joined with " ".
+func printKPaths(out io.Writer, res *twpp.KPathsResult) {
+	fmt.Fprintf(out, "k-paths of function %d (%s): k=%d, %d calls, %d iterations, %d windows\n",
+		res.Func, res.Name, res.K, res.Calls, res.Iterations, res.Windows)
+	for _, p := range res.Paths {
+		segs := make([]string, len(p.Seq))
+		for i, it := range p.Seq {
+			blks := make([]string, len(it))
+			for j, b := range it {
+				blks[j] = strconv.Itoa(b)
+			}
+			segs[i] = strings.Join(blks, " ")
 		}
-		out[cfg.BlockID(v)] = true
+		fmt.Fprintf(out, "  %6dx  %s\n", p.Count, strings.Join(segs, " | "))
 	}
-	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"twpp"
+	"twpp/internal/cli"
 )
 
 func writeTWPP(t *testing.T, dir string) string {
@@ -88,16 +89,13 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-func TestParseBlocks(t *testing.T) {
-	m, err := parseBlocks("1, 2,3")
-	if err != nil || len(m) != 3 || !m[2] {
-		t.Errorf("parseBlocks = %v, %v", m, err)
-	}
-	if _, err := parseBlocks("a"); err == nil {
-		t.Error("want error")
-	}
-	if m, err := parseBlocks(""); err != nil || len(m) != 0 {
-		t.Errorf("empty = %v, %v", m, err)
+// Block-list parsing lives in passes.Params (tested there); here we
+// pin that a malformed list surfaces as a usage error through run.
+func TestBadBlockListIsUsage(t *testing.T) {
+	p := writeTWPP(t, t.TempDir())
+	err := run(io.Discard, queryConfig{in: p, fn: 1, block: 2, gen: "1,x"})
+	if got := cli.ExitCode(err); got != cli.ExitUsage {
+		t.Errorf("bad gen list: exit %d, want %d", got, cli.ExitUsage)
 	}
 }
 

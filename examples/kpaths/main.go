@@ -1,0 +1,126 @@
+// k-iteration path profiles: two loops whose single-iteration (k=1)
+// profiles are indistinguishable, but whose k=2 profiles reveal a
+// loop-carried structure only one of them has.
+//
+// `alternating` takes the then-branch on even iterations and the
+// else-branch on odd ones; `blocky` takes the then-branch for the
+// first half of the loop and the else-branch for the second. Over 12
+// iterations each branch executes 6 times in both functions, so any
+// per-iteration profile — Ball-Larus path counts, block counts, the
+// /stats numbers — calls them identical. The k=2 profile, built from
+// the timestamped whole program path by sliding a window of k
+// consecutive iterations, separates them: alternating's hot window is
+// then→else (it never repeats an iteration path), blocky's is
+// then→then.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"twpp"
+)
+
+const src = `
+func main() {
+    var a = alternating(12);
+    var b = blocky(12);
+    print(a + b);
+}
+func alternating(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (i % 2 == 0) {
+            acc = acc + 1;
+        } else {
+            acc = acc + 2;
+        }
+    }
+    return acc;
+}
+func blocky(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (i < 6) {
+            acc = acc + 1;
+        } else {
+            acc = acc + 2;
+        }
+    }
+    return acc;
+}
+`
+
+func main() {
+	// Trace, compact, and store the program, then reopen the container
+	// the way any analysis client would.
+	prog, err := twpp.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := prog.Trace(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw, _ := twpp.Compact(run.WPP)
+	dir, err := os.MkdirTemp("", "twpp-kpaths-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "trace.twpp")
+	if err := twpp.WriteFile(path, tw); err != nil {
+		log.Fatal(err)
+	}
+	c, err := twpp.OpenContainer(path, twpp.OpenOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	byName := map[string]twpp.FuncID{}
+	for _, fn := range c.Functions() {
+		if names := c.Names(); int(fn) < len(names) {
+			byName[names[fn]] = fn
+		}
+	}
+
+	for _, k := range []int{1, 2} {
+		fmt.Printf("k=%d iteration paths:\n", k)
+		for _, name := range []string{"alternating", "blocky"} {
+			res, err := twpp.KPathProfile(c, byName[name], k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12s %d calls, %d iterations, %d windows\n",
+				name, res.Calls, res.Iterations, res.Windows)
+			for _, p := range res.Paths {
+				fmt.Printf("    %4dx  %s\n", p.Count, renderWindow(p.Seq))
+			}
+		}
+		if k == 1 {
+			fmt.Println("  -> identical: per-iteration counts cannot tell the loops apart")
+		} else {
+			fmt.Println("  -> the hot k=2 window differs: alternating pairs two distinct")
+			fmt.Println("     iteration paths, blocky repeats one — visible only because the")
+			fmt.Println("     timestamped WPP preserves cross-iteration order")
+		}
+	}
+}
+
+// renderWindow prints one k-window the way twpp-query -kpaths does:
+// iterations separated by " | ", blocks by spaces.
+func renderWindow(seq [][]int) string {
+	iters := make([]string, len(seq))
+	for i, blocks := range seq {
+		parts := make([]string, len(blocks))
+		for j, b := range blocks {
+			parts[j] = fmt.Sprint(b)
+		}
+		iters[i] = strings.Join(parts, " ")
+	}
+	return strings.Join(iters, " | ")
+}

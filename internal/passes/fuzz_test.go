@@ -1,0 +1,87 @@
+package passes_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/url"
+	"testing"
+
+	"twpp/internal/cli"
+	"twpp/internal/passes"
+	"twpp/internal/testkit"
+	"twpp/internal/wppfile"
+)
+
+// FuzzAnalyzePass drives the registry the way the analyze endpoint
+// does — arbitrary container bytes, an arbitrary pass name, and an
+// arbitrary query string — and enforces the pass contract: no panic,
+// every failure classifies into a structured exit class (usage,
+// corrupt, truncated, limit, canceled) or a not-found sentinel, and
+// every success marshals to JSON. An unclassified error would surface
+// as a CLI exit 1 or an HTTP 500, which hostile input must never
+// cause.
+func FuzzAnalyzePass(f *testing.F) {
+	for _, w := range testkit.Corpus(77) {
+		_, compacted, err := testkit.EncodeBoth(w)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(compacted, "kpaths", "func=0&k=2")
+		f.Add(compacted, "trace", "func=1&trace=0")
+		f.Add(compacted, "query", "func=0&block=2&gen=1&kill=3&trace=0")
+		f.Add(testkit.BitFlip(compacted, len(compacted)/2, 1), "cfg", "func=0&trace=0")
+		f.Add(testkit.Truncate(compacted, len(compacted)/2), "funcs", "")
+		f.Add(compacted, "stats", "func=%zz&k=-1")
+		f.Add(compacted, "nope", "func=0")
+	}
+	opts := wppfile.OpenOptions{
+		MaxTraceBytes: 1 << 20,
+		MaxFuncTraces: 1 << 10,
+		MaxSeqValues:  1 << 12,
+	}
+	f.Fuzz(func(t *testing.T, data []byte, pass, query string) {
+		c, err := wppfile.OpenCompactedBytes(data, opts)
+		if err != nil {
+			requireClassified(t, "open", err)
+			return
+		}
+		defer c.Close()
+
+		vals, err := url.ParseQuery(query)
+		if err != nil {
+			// Malformed query strings are rejected by net/http before a
+			// handler (or the registry) ever sees them.
+			return
+		}
+		params := map[string]string{}
+		for k, v := range vals {
+			if len(v) > 0 {
+				params[k] = v[0]
+			}
+		}
+		res, err := passes.Run(context.Background(), pass, c,
+			passes.Params{Source: "fuzz", Values: params})
+		if err != nil {
+			requireClassified(t, "run "+pass, err)
+			return
+		}
+		if _, err := json.Marshal(res); err != nil {
+			t.Fatalf("pass %s: unmarshalable result: %v", pass, err)
+		}
+	})
+}
+
+// requireClassified fails the fuzz run on any error the serving and
+// CLI surfaces cannot map to a deliberate status: everything must be
+// a usage/corrupt/truncated/limit/canceled class or a not-found
+// sentinel.
+func requireClassified(t *testing.T, op string, err error) {
+	t.Helper()
+	if errors.Is(err, passes.ErrNotFound) || errors.Is(err, wppfile.ErrNoFunction) {
+		return
+	}
+	if cli.ExitCode(err) == cli.ExitFailure {
+		t.Fatalf("%s: unclassified error (would be exit 1 / HTTP 500): %v", op, err)
+	}
+}

@@ -1,0 +1,238 @@
+// kpaths: k-iteration Ball-Larus path profiles computed from the
+// timestamp series the containers already store (the PAPERS.md
+// follow-on to the paper: Ball-Larus profiling across multiple loop
+// iterations). A classic acyclic path profile ends every path at a
+// back edge, so a hot *sequence* of iterations — the alternation
+// A,B,A,B against the run A,A,B,B — is invisible at k=1. This pass
+// splits each unique trace's expanded path into its loop iterations
+// (a new iteration starts at the first repeated block of the current
+// one, i.e. at the dynamic back edge), then counts every window of k
+// consecutive iterations, weighted by how many calls used that trace
+// (recovered from the dynamic call graph, exactly the hot-path walk
+// the stats surfaces use). At k=1 this degenerates to the per-
+// iteration acyclic profile, so for a loop-free function every path
+// count equals the call count reported by stats.
+
+package passes
+
+import (
+	"context"
+	"sort"
+
+	"twpp/internal/cfg"
+	"twpp/internal/cli"
+	"twpp/internal/core"
+	"twpp/internal/wpp"
+	"twpp/internal/wppfile"
+)
+
+// MaxK bounds the window length: windows are materialized as block
+// sequences, so k is capped well below anything a real loop nest
+// needs.
+const MaxK = 64
+
+func init() {
+	Register(&Pass{
+		Name:    "kpaths",
+		Summary: "k-iteration Ball-Larus path profile: hot windows of k consecutive loop iterations",
+		Params: []ParamDoc{
+			{Name: "func", Kind: "int", Required: true, Doc: "function id"},
+			{Name: "k", Kind: "int", Doc: "window length in loop iterations (default 1, max 64)"},
+			{Name: "top", Kind: "int", Doc: "keep only the top N paths (default: all)"},
+		},
+		Run: runKPaths,
+	})
+}
+
+func runKPaths(ctx context.Context, c wppfile.Container, p Params) (any, error) {
+	fn, err := p.Func()
+	if err != nil {
+		return nil, err
+	}
+	k, err := p.Int("k", 1)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > MaxK {
+		return nil, cli.Usagef("bad k %d: want 1..%d", k, MaxK)
+	}
+	top, err := p.Int("top", 0)
+	if err != nil {
+		return nil, err
+	}
+	if top < 0 {
+		return nil, cli.Usagef("bad top %d: want >= 0", top)
+	}
+
+	ft, release, err := Extract(ctx, c, fn)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if err := checkExpand(ft, -1); err != nil {
+		return nil, err
+	}
+
+	uses, err := traceUses(c, fn, len(ft.Traces))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &KPathsResult{
+		File:  p.Source,
+		Func:  int(fn),
+		Name:  funcName(c, fn),
+		K:     k,
+		Calls: ft.CallCount,
+		Paths: []KPathEntry{},
+	}
+	acc := map[string]*KPathEntry{}
+	for i := range ft.Traces {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if uses[i] == 0 {
+			continue
+		}
+		iters, err := iterations(ft, i)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations += uses[i] * len(iters)
+		for w := 0; w+k <= len(iters); w++ {
+			win := iters[w : w+k]
+			key := windowKey(win)
+			e, ok := acc[key]
+			if !ok {
+				seq := make([][]int, k)
+				for j, it := range win {
+					seq[j] = append([]int(nil), it...)
+				}
+				e = &KPathEntry{Seq: seq}
+				acc[key] = e
+			}
+			e.Count += uses[i]
+			res.Windows += uses[i]
+		}
+	}
+
+	for _, e := range acc {
+		res.Paths = append(res.Paths, *e)
+	}
+	sort.Slice(res.Paths, func(a, b int) bool {
+		pa, pb := res.Paths[a], res.Paths[b]
+		if pa.Count != pb.Count {
+			return pa.Count > pb.Count
+		}
+		return lessSeq(pa.Seq, pb.Seq)
+	})
+	if top > 0 && len(res.Paths) > top {
+		res.Paths = res.Paths[:top]
+	}
+	return res, nil
+}
+
+// iterations expands unique trace i through its dictionary and splits
+// the block sequence into loop iterations: a new iteration begins when
+// the next block already executed in the current one, which is exactly
+// where a Ball-Larus acyclic path terminates at the dynamic back edge.
+// A loop-free invocation is a single iteration.
+func iterations(ft *core.FunctionTWPP, i int) ([][]int, error) {
+	compacted, err := ft.Traces[i].ToPath()
+	if err != nil {
+		return nil, err
+	}
+	dict := ft.Dicts[ft.DictOf[i]]
+	var path wpp.PathTrace
+	for _, id := range compacted {
+		if chain, ok := dict[id]; ok {
+			path = append(path, chain...)
+		} else {
+			path = append(path, id)
+		}
+	}
+	var iters [][]int
+	seen := map[cfg.BlockID]bool{}
+	var cur []int
+	for _, b := range path {
+		if seen[b] {
+			iters = append(iters, cur)
+			cur = nil
+			clear(seen)
+		}
+		seen[b] = true
+		cur = append(cur, int(b))
+	}
+	if len(cur) > 0 {
+		iters = append(iters, cur)
+	}
+	return iters, nil
+}
+
+// traceUses counts, per unique trace of fn, how many invocations used
+// it, by walking the dynamic call graph iteratively (DeepRecursion
+// profiles produce DCGs thousands of nodes deep, so no recursion).
+func traceUses(c wppfile.Container, fn cfg.FuncID, n int) ([]int, error) {
+	uses := make([]int, n)
+	root, err := c.ReadDCG()
+	if err != nil {
+		return nil, err
+	}
+	stack := []*wpp.CallNode{root}
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if node == nil {
+			continue
+		}
+		if node.Fn == fn && node.TraceIdx >= 0 && node.TraceIdx < n {
+			uses[node.TraceIdx]++
+		}
+		stack = append(stack, node.Children...)
+	}
+	return uses, nil
+}
+
+// windowKey builds a map key for a window of iterations: varint block
+// ids with a 0xff terminator after each iteration (0xff cannot end a
+// varint's final byte, so boundaries are unambiguous).
+func windowKey(win [][]int) string {
+	n := 0
+	for _, it := range win {
+		n += len(it)*2 + 1
+	}
+	b := make([]byte, 0, n)
+	for _, it := range win {
+		for _, blk := range it {
+			v := uint(blk)
+			for v >= 0x80 {
+				b = append(b, byte(v&0x7f)|0x80)
+				v >>= 7
+			}
+			b = append(b, byte(v))
+		}
+		b = append(b, 0xff)
+	}
+	return string(b)
+}
+
+// lessSeq orders equal-count windows deterministically: lexicographic
+// over the flattened (block id, iteration boundary) form.
+func lessSeq(a, b [][]int) bool {
+	fa, fb := flatten(a), flatten(b)
+	for i := 0; i < len(fa) && i < len(fb); i++ {
+		if fa[i] != fb[i] {
+			return fa[i] < fb[i]
+		}
+	}
+	return len(fa) < len(fb)
+}
+
+func flatten(seq [][]int) []int {
+	out := make([]int, 0, len(seq)*4)
+	for _, it := range seq {
+		out = append(out, it...)
+		out = append(out, -1)
+	}
+	return out
+}

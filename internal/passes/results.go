@@ -1,0 +1,128 @@
+// Result shapes shared by every dispatch surface. Field order is the
+// JSON order, and every set is emitted in a deterministic order (index
+// order, block first-execution order, count-then-path order), so
+// identical requests yield identical bytes — the property the server's
+// response cache and the parity oracles rely on. These structs were
+// lifted unchanged from the server's bespoke handlers, so the HTTP
+// bodies are byte-identical to the pre-registry responses.
+
+package passes
+
+// FuncInfo is one function's row in a FuncsResult.
+type FuncInfo struct {
+	ID         int    `json:"id"`
+	Name       string `json:"name"`
+	Calls      int    `json:"calls"`
+	BlockBytes int    `json:"block_bytes"`
+}
+
+// FuncsResult lists a container's functions, hottest first.
+type FuncsResult struct {
+	File      string     `json:"file"`
+	Functions []FuncInfo `json:"functions"`
+}
+
+// BlockInfo is one dynamic block of a TWPP trace: its id and the
+// compacted timestamp set (arithmetic-series string form).
+type BlockInfo struct {
+	Block int    `json:"block"`
+	Count int    `json:"count"`
+	Times string `json:"times"`
+}
+
+// TraceInfo is one unique trace of a function.
+type TraceInfo struct {
+	Index  int         `json:"index"`
+	Len    int         `json:"len"`
+	Dict   int         `json:"dict"`
+	Blocks []BlockInfo `json:"blocks"`
+}
+
+// TraceResult is the full extraction of one function: the paper's
+// single-seek per-function query.
+type TraceResult struct {
+	File   string      `json:"file"`
+	Func   int         `json:"func"`
+	Name   string      `json:"name"`
+	Calls  int         `json:"calls"`
+	Dicts  int         `json:"dicts"`
+	Traces []TraceInfo `json:"traces"`
+}
+
+// StatsResult summarizes one function without dumping its traces.
+type StatsResult struct {
+	File         string `json:"file"`
+	Func         int    `json:"func"`
+	Name         string `json:"name"`
+	Calls        int    `json:"calls"`
+	UniqueTraces int    `json:"unique_traces"`
+	Dicts        int    `json:"dicts"`
+	TotalLen     int    `json:"total_len"`
+	BlockBytes   int    `json:"block_bytes"`
+}
+
+// CFGNode is one node of a dynamic CFG with its timestamp annotation
+// and successor blocks.
+type CFGNode struct {
+	Block int    `json:"block"`
+	Count int    `json:"count"`
+	Times string `json:"times"`
+	Succs []int  `json:"succs"`
+}
+
+// CFGResult is the timestamp-annotated dynamic CFG of one trace.
+type CFGResult struct {
+	File  string    `json:"file"`
+	Func  int       `json:"func"`
+	Trace int       `json:"trace"`
+	Len   int       `json:"len"`
+	Edges int       `json:"edges"`
+	Nodes []CFGNode `json:"nodes"`
+}
+
+// QueryResult is the resolution of a profile-limited GEN-KILL query.
+type QueryResult struct {
+	File            string  `json:"file"`
+	Func            int     `json:"func"`
+	Trace           int     `json:"trace"`
+	Block           int     `json:"block"`
+	Holds           string  `json:"holds"`
+	True            string  `json:"true"`
+	TrueCount       int     `json:"true_count"`
+	False           string  `json:"false"`
+	FalseCount      int     `json:"false_count"`
+	Unresolved      string  `json:"unresolved"`
+	UnresolvedCount int     `json:"unresolved_count"`
+	Frequency       float64 `json:"frequency"`
+	Queries         int     `json:"queries"`
+	Steps           int     `json:"steps"`
+}
+
+// KPathEntry is one k-iteration path of a KPathsResult: a sequence of
+// k consecutive loop-iteration paths (each a block-id sequence) and
+// the number of times the sequence was executed across all calls.
+type KPathEntry struct {
+	Seq   [][]int `json:"seq"`
+	Count int     `json:"count"`
+}
+
+// KPathsResult is a function's k-iteration Ball-Larus path profile,
+// computed from the stored timestamp series without decompressing the
+// container: every window of k consecutive loop iterations, with
+// counts, hottest first.
+type KPathsResult struct {
+	File string `json:"file"`
+	Func int    `json:"func"`
+	Name string `json:"name"`
+	K    int    `json:"k"`
+	// Calls is the function's invocation count (equals the stats
+	// pass's calls figure exactly).
+	Calls int `json:"calls"`
+	// Iterations counts loop iterations (acyclic path segments) summed
+	// over every call; for a loop-free function it equals Calls.
+	Iterations int `json:"iterations"`
+	// Windows counts the k-windows profiled: calls whose iteration
+	// count is below k contribute none.
+	Windows int          `json:"windows"`
+	Paths   []KPathEntry `json:"paths"`
+}

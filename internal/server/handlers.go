@@ -6,110 +6,41 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
 
 	"twpp/internal/cfg"
 	"twpp/internal/cli"
-	"twpp/internal/core"
-	"twpp/internal/dataflow"
+	"twpp/internal/passes"
 )
 
 // errNotFound marks lookups of absent mounts; classify maps it to 404.
 var errNotFound = errors.New("not found")
 
-// Response shapes. Field order is the JSON order, and every set is
-// emitted in a deterministic order (mount order, trace index, block
-// first-execution order), so identical requests yield identical bytes.
-
-// FuncInfo is one function's row in a FuncsResponse.
-type FuncInfo struct {
-	ID         int    `json:"id"`
-	Name       string `json:"name"`
-	Calls      int    `json:"calls"`
-	BlockBytes int    `json:"block_bytes"`
-}
-
-// FuncsResponse lists a mounted file's functions, hottest first.
-type FuncsResponse struct {
-	File      string     `json:"file"`
-	Functions []FuncInfo `json:"functions"`
-}
-
-// BlockInfo is one dynamic block of a TWPP trace: its id and the
-// compacted timestamp set (arithmetic-series string form).
-type BlockInfo struct {
-	Block int    `json:"block"`
-	Count int    `json:"count"`
-	Times string `json:"times"`
-}
-
-// TraceInfo is one unique trace of a function.
-type TraceInfo struct {
-	Index  int         `json:"index"`
-	Len    int         `json:"len"`
-	Dict   int         `json:"dict"`
-	Blocks []BlockInfo `json:"blocks"`
-}
-
-// TraceResponse is the full extraction of one function: the paper's
-// single-seek per-function query, served over HTTP.
-type TraceResponse struct {
-	File   string      `json:"file"`
-	Func   int         `json:"func"`
-	Name   string      `json:"name"`
-	Calls  int         `json:"calls"`
-	Dicts  int         `json:"dicts"`
-	Traces []TraceInfo `json:"traces"`
-}
-
-// StatsResponse summarizes one function without dumping its traces.
-type StatsResponse struct {
-	File         string `json:"file"`
-	Func         int    `json:"func"`
-	Name         string `json:"name"`
-	Calls        int    `json:"calls"`
-	UniqueTraces int    `json:"unique_traces"`
-	Dicts        int    `json:"dicts"`
-	TotalLen     int    `json:"total_len"`
-	BlockBytes   int    `json:"block_bytes"`
-}
-
-// CFGNode is one node of a dynamic CFG with its timestamp annotation
-// and successor blocks.
-type CFGNode struct {
-	Block int    `json:"block"`
-	Count int    `json:"count"`
-	Times string `json:"times"`
-	Succs []int  `json:"succs"`
-}
-
-// CFGResponse is the timestamp-annotated dynamic CFG of one trace.
-type CFGResponse struct {
-	File  string    `json:"file"`
-	Func  int       `json:"func"`
-	Trace int       `json:"trace"`
-	Len   int       `json:"len"`
-	Edges int       `json:"edges"`
-	Nodes []CFGNode `json:"nodes"`
-}
-
-// QueryResponse is the resolution of a profile-limited GEN-KILL query.
-type QueryResponse struct {
-	File            string  `json:"file"`
-	Func            int     `json:"func"`
-	Trace           int     `json:"trace"`
-	Block           int     `json:"block"`
-	Holds           string  `json:"holds"`
-	True            string  `json:"true"`
-	TrueCount       int     `json:"true_count"`
-	False           string  `json:"false"`
-	FalseCount      int     `json:"false_count"`
-	Unresolved      string  `json:"unresolved"`
-	UnresolvedCount int     `json:"unresolved_count"`
-	Frequency       float64 `json:"frequency"`
-	Queries         int     `json:"queries"`
-	Steps           int     `json:"steps"`
-}
+// The query-route response shapes live in internal/passes (every
+// dispatch surface shares them); the aliases keep this package's
+// exported API and the testkit oracles stable.
+type (
+	// FuncInfo is one function's row in a FuncsResponse.
+	FuncInfo = passes.FuncInfo
+	// FuncsResponse lists a mounted file's functions, hottest first.
+	FuncsResponse = passes.FuncsResult
+	// BlockInfo is one dynamic block of a TWPP trace.
+	BlockInfo = passes.BlockInfo
+	// TraceInfo is one unique trace of a function.
+	TraceInfo = passes.TraceInfo
+	// TraceResponse is the full extraction of one function.
+	TraceResponse = passes.TraceResult
+	// StatsResponse summarizes one function without the trace dump.
+	StatsResponse = passes.StatsResult
+	// CFGNode is one node of a dynamic CFG.
+	CFGNode = passes.CFGNode
+	// CFGResponse is the timestamp-annotated dynamic CFG of one trace.
+	CFGResponse = passes.CFGResult
+	// QueryResponse is the resolution of a profile-limited GEN-KILL
+	// query.
+	QueryResponse = passes.QueryResult
+	// KPathsResponse is a k-iteration path profile (the kpaths pass).
+	KPathsResponse = passes.KPathsResult
+)
 
 // ErrorResponse is every non-2xx body: the message plus the structured
 // code class ("corrupt", "truncated", "limit", "canceled", "usage",
@@ -167,13 +98,6 @@ func (s *Server) resolveMount(r *http.Request) (*Mount, error) {
 	return m, nil
 }
 
-func (s *Server) funcName(m *Mount, fn cfg.FuncID) string {
-	if names := m.file.Names(); int(fn) < len(names) {
-		return names[fn]
-	}
-	return fmt.Sprintf("func%d", fn)
-}
-
 // pathFunc parses the {fn} path segment as a function id.
 func pathFunc(r *http.Request) (cfg.FuncID, error) {
 	v, err := strconv.Atoi(r.PathValue("fn"))
@@ -183,6 +107,8 @@ func pathFunc(r *http.Request) (cfg.FuncID, error) {
 	return cfg.FuncID(v), nil
 }
 
+// queryInt parses an integer query parameter (used by routes that sit
+// outside the pass registry, like /v1/diff).
 func queryInt(r *http.Request, key string, def int) (int, error) {
 	s := r.URL.Query().Get(key)
 	if s == "" {
@@ -193,22 +119,6 @@ func queryInt(r *http.Request, key string, def int) (int, error) {
 		return 0, cli.Usagef("bad %s %q", key, s)
 	}
 	return v, nil
-}
-
-func queryBlocks(r *http.Request, key string) (map[cfg.BlockID]bool, error) {
-	out := map[cfg.BlockID]bool{}
-	s := r.URL.Query().Get(key)
-	if s == "" {
-		return out, nil
-	}
-	for _, p := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, cli.Usagef("bad block id %q in %s", p, key)
-		}
-		out[cfg.BlockID(v)] = true
-	}
-	return out, nil
 }
 
 // MountInfo is one catalog entry in a MountsResponse: the mount name,
@@ -251,224 +161,4 @@ func (s *Server) handleMounts(w http.ResponseWriter, _ *http.Request) error {
 		})
 	}
 	return writeJSON(w, resp)
-}
-
-// GET /funcs — list functions, hottest first (the on-disk index order).
-func (s *Server) handleFuncs(w http.ResponseWriter, r *http.Request) error {
-	m, err := s.resolveMount(r)
-	if err != nil {
-		return err
-	}
-	resp := FuncsResponse{File: m.name, Functions: []FuncInfo{}}
-	for _, fn := range m.file.Functions() {
-		resp.Functions = append(resp.Functions, FuncInfo{
-			ID:         int(fn),
-			Name:       s.funcName(m, fn),
-			Calls:      m.file.CallCount(fn),
-			BlockBytes: m.file.BlockLength(fn),
-		})
-	}
-	return writeJSON(w, resp)
-}
-
-// extract runs the deadline-threaded single-seek extraction.
-func (s *Server) extract(r *http.Request, m *Mount, fn cfg.FuncID) (*core.FunctionTWPP, error) {
-	return m.file.ExtractFunctionCtx(r.Context(), fn)
-}
-
-// GET /trace/{fn} — extract one function's unique TWPP traces with
-// their full timestamp mappings; ?trace=N restricts to one trace.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) error {
-	m, err := s.resolveMount(r)
-	if err != nil {
-		return err
-	}
-	fn, err := pathFunc(r)
-	if err != nil {
-		return err
-	}
-	ft, err := s.extract(r, m, fn)
-	if err != nil {
-		return err
-	}
-	want, err := queryInt(r, "trace", -1)
-	if err != nil {
-		return err
-	}
-	if want >= len(ft.Traces) {
-		return cli.Usagef("trace index %d out of range (%d traces)", want, len(ft.Traces))
-	}
-	resp := TraceResponse{
-		File:   m.name,
-		Func:   int(fn),
-		Name:   s.funcName(m, fn),
-		Calls:  ft.CallCount,
-		Dicts:  len(ft.Dicts),
-		Traces: []TraceInfo{},
-	}
-	for i, tr := range ft.Traces {
-		if want >= 0 && i != want {
-			continue
-		}
-		ti := TraceInfo{Index: i, Len: tr.Len, Dict: ft.DictOf[i], Blocks: []BlockInfo{}}
-		for _, bt := range tr.Blocks {
-			ti.Blocks = append(ti.Blocks, BlockInfo{
-				Block: int(bt.Block),
-				Count: bt.Times.Count(),
-				Times: bt.Times.String(),
-			})
-		}
-		resp.Traces = append(resp.Traces, ti)
-	}
-	return writeJSON(w, resp)
-}
-
-// GET /stats/{fn} — per-function stats without the trace dump.
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
-	m, err := s.resolveMount(r)
-	if err != nil {
-		return err
-	}
-	fn, err := pathFunc(r)
-	if err != nil {
-		return err
-	}
-	ft, err := s.extract(r, m, fn)
-	if err != nil {
-		return err
-	}
-	total := 0
-	for _, tr := range ft.Traces {
-		total += tr.Len
-	}
-	return writeJSON(w, StatsResponse{
-		File:         m.name,
-		Func:         int(fn),
-		Name:         s.funcName(m, fn),
-		Calls:        ft.CallCount,
-		UniqueTraces: len(ft.Traces),
-		Dicts:        len(ft.Dicts),
-		TotalLen:     total,
-		BlockBytes:   m.file.BlockLength(fn),
-	})
-}
-
-// GET /cfg/{fn}?trace=N — the timestamp-annotated dynamic CFG of one
-// trace, nodes in first-execution order.
-func (s *Server) handleCFG(w http.ResponseWriter, r *http.Request) error {
-	m, err := s.resolveMount(r)
-	if err != nil {
-		return err
-	}
-	fn, err := pathFunc(r)
-	if err != nil {
-		return err
-	}
-	traceIx, err := queryInt(r, "trace", 0)
-	if err != nil {
-		return err
-	}
-	ft, err := s.extract(r, m, fn)
-	if err != nil {
-		return err
-	}
-	if traceIx < 0 || traceIx >= len(ft.Traces) {
-		return cli.Usagef("trace index %d out of range (%d traces)", traceIx, len(ft.Traces))
-	}
-	g, err := dataflow.Build(ft, traceIx)
-	if err != nil {
-		return err
-	}
-	resp := CFGResponse{
-		File:  m.name,
-		Func:  int(fn),
-		Trace: traceIx,
-		Len:   g.Len,
-		Nodes: []CFGNode{},
-	}
-	for _, n := range g.Nodes {
-		node := CFGNode{
-			Block: int(n.Block),
-			Count: n.Times.Count(),
-			Times: n.Times.String(),
-			Succs: []int{},
-		}
-		for _, succ := range n.Succs {
-			node.Succs = append(node.Succs, int(succ.Block))
-		}
-		resp.Edges += len(n.Succs)
-		resp.Nodes = append(resp.Nodes, node)
-	}
-	return writeJSON(w, resp)
-}
-
-// GET /query?func=F&block=B[&trace=N][&gen=ids][&kill=ids] — the
-// profile-limited GEN-KILL query <T(B), B>_d over one trace's dynamic
-// CFG, solved under the request deadline.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
-	m, err := s.resolveMount(r)
-	if err != nil {
-		return err
-	}
-	fnInt, err := queryInt(r, "func", -1)
-	if err != nil {
-		return err
-	}
-	if fnInt < 0 {
-		return cli.Usagef("missing func parameter")
-	}
-	block, err := queryInt(r, "block", -1)
-	if err != nil {
-		return err
-	}
-	if block <= 0 {
-		return cli.Usagef("missing or non-positive block parameter")
-	}
-	traceIx, err := queryInt(r, "trace", 0)
-	if err != nil {
-		return err
-	}
-	gens, err := queryBlocks(r, "gen")
-	if err != nil {
-		return err
-	}
-	kills, err := queryBlocks(r, "kill")
-	if err != nil {
-		return err
-	}
-	ft, err := s.extract(r, m, cfg.FuncID(fnInt))
-	if err != nil {
-		return err
-	}
-	if traceIx < 0 || traceIx >= len(ft.Traces) {
-		return cli.Usagef("trace index %d out of range (%d traces)", traceIx, len(ft.Traces))
-	}
-	g, err := dataflow.Build(ft, traceIx)
-	if err != nil {
-		return err
-	}
-	if g.Node(cfg.BlockID(block)) == nil {
-		return fmt.Errorf("server: block %d never executes in trace %d: %w", block, traceIx, errNotFound)
-	}
-	prob := &dataflow.GenKillProblem{GenBlocks: gens, KillBlocks: kills}
-	res, err := dataflow.SolveAllCtx(r.Context(), g, prob, cfg.BlockID(block))
-	if err != nil {
-		return err
-	}
-	return writeJSON(w, QueryResponse{
-		File:            m.name,
-		Func:            fnInt,
-		Trace:           traceIx,
-		Block:           block,
-		Holds:           res.Holds(),
-		True:            res.True.String(),
-		TrueCount:       res.True.Count(),
-		False:           res.False.String(),
-		FalseCount:      res.False.Count(),
-		Unresolved:      res.Unresolved.String(),
-		UnresolvedCount: res.Unresolved.Count(),
-		Frequency:       res.Frequency(),
-		Queries:         res.Queries,
-		Steps:           res.Steps,
-	})
 }

@@ -42,6 +42,7 @@ import (
 	"twpp/internal/cfg"
 	"twpp/internal/cli"
 	"twpp/internal/obs"
+	"twpp/internal/passes"
 	"twpp/internal/wppfile"
 )
 
@@ -199,23 +200,28 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	// Query routes are deterministic functions of (mounted bytes,
-	// request URI), so they go through the ETag/response-cache wrapper.
-	mux.HandleFunc("GET /funcs", s.limited(s.cached(s.handleFuncs)))
-	mux.HandleFunc("GET /trace/{fn}", s.limited(s.cached(s.handleTrace)))
-	mux.HandleFunc("GET /stats/{fn}", s.limited(s.cached(s.handleStats)))
-	mux.HandleFunc("GET /cfg/{fn}", s.limited(s.cached(s.handleCFG)))
-	mux.HandleFunc("GET /query", s.limited(s.cached(s.handleQuery)))
-	// The /v1/{mount}/... namespace addresses a mount in the path;
-	// the legacy flat routes above keep working with ?file=.
+	// request URI), so they go through the ETag/response-cache wrapper,
+	// and each registers exactly once under both namespaces: the legacy
+	// flat routes (mount selected with ?file=) and /v1/{mount}/...
+	registerQuery := func(pattern string, h handlerFunc) {
+		wrapped := s.limited(s.cached(h))
+		mux.HandleFunc("GET "+pattern, wrapped)
+		mux.HandleFunc("GET /v1/{mount}"+pattern, wrapped)
+	}
+	// Each registered pass with a dedicated route gets it; every pass —
+	// routed or not — is reachable through the generic analyze endpoint
+	// and listed by the discovery endpoint.
+	for _, p := range passes.All() {
+		if p.Route != "" {
+			registerQuery(p.Route, s.passHandler(p))
+		}
+	}
+	registerQuery("/analyze/{pass}", s.handleAnalyze)
+	registerQuery("/analyses", s.handleAnalyses)
 	mux.HandleFunc("GET /mounts", s.limited(s.handleMounts))
 	// Cross-mount diff: names both sides in the query string, so it
 	// does its own dual-hash ETag/cache handling instead of cached().
 	mux.HandleFunc("GET /v1/diff", s.limited(s.handleDiff))
-	mux.HandleFunc("GET /v1/{mount}/funcs", s.limited(s.cached(s.handleFuncs)))
-	mux.HandleFunc("GET /v1/{mount}/trace/{fn}", s.limited(s.cached(s.handleTrace)))
-	mux.HandleFunc("GET /v1/{mount}/stats/{fn}", s.limited(s.cached(s.handleStats)))
-	mux.HandleFunc("GET /v1/{mount}/cfg/{fn}", s.limited(s.cached(s.handleCFG)))
-	mux.HandleFunc("GET /v1/{mount}/query", s.limited(s.cached(s.handleQuery)))
 	// Refresh is a cheap mutation (re-read one manifest), not a query:
 	// it goes through limited() for the semaphore and logging but is
 	// never response-cached.
@@ -328,10 +334,11 @@ func (s *Server) limited(h handlerFunc) http.HandlerFunc {
 }
 
 // classify maps a handler error to its HTTP status and short code
-// name. Decode errors keep their structured class; a missing function
-// or mount is a plain 404.
+// name. Decode errors keep their structured class; a missing function,
+// mount, pass, or block is a plain 404.
 func classify(err error) (status int, code string) {
-	if errors.Is(err, wppfile.ErrNoFunction) || errors.Is(err, errNotFound) {
+	if errors.Is(err, wppfile.ErrNoFunction) || errors.Is(err, errNotFound) ||
+		errors.Is(err, passes.ErrNotFound) {
 		return http.StatusNotFound, "not_found"
 	}
 	return cli.HTTPStatus(err), cli.CodeName(cli.ExitCode(err))

@@ -1,0 +1,209 @@
+// The analyze-endpoint oracle: for every registered analysis pass,
+// the bytes served by GET /v1/{mount}/analyze/{pass} must equal the
+// in-process passes.Run result marshaled the same way — the registry
+// is one dispatch path, so the server may add transport (caching,
+// deadlines, status mapping) but never content.
+
+package testkit
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"twpp/internal/cfg"
+	"twpp/internal/core"
+	"twpp/internal/passes"
+	"twpp/internal/segment"
+	"twpp/internal/server"
+	"twpp/internal/trace"
+	"twpp/internal/wpp"
+	"twpp/internal/wppfile"
+)
+
+// CheckAnalyzeParity writes w as each container kind — a v1 file, a
+// v2 file, and a segmented directory — and checks, for every
+// registered analysis pass, that the generic analyze endpoint serves
+// bytes identical to in-process passes.Run on the same container.
+func CheckAnalyzeParity(w *trace.RawWPP) error {
+	dir, err := os.MkdirTemp("", "testkit-analyze-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	c, _ := wpp.Compact(w)
+	tw := core.FromCompacted(c)
+
+	v1 := filepath.Join(dir, "t1.twpp")
+	if err := wppfile.WriteCompactedFormat(v1, tw, 1, wppfile.FormatV1); err != nil {
+		return fmt.Errorf("write v1: %w", err)
+	}
+	v2 := filepath.Join(dir, "t2.twpp")
+	if err := wppfile.WriteCompacted(v2, tw); err != nil {
+		return fmt.Errorf("write v2: %w", err)
+	}
+	segDir := filepath.Join(dir, "t.twppd")
+	if _, err := segment.Write(segDir, tw, segment.WriteOptions{Segments: 2}); err != nil {
+		return fmt.Errorf("write segmented: %w", err)
+	}
+
+	for _, kind := range []struct {
+		name, path string
+	}{{"v1", v1}, {"v2", v2}, {"segmented", segDir}} {
+		var cont wppfile.Container
+		if segment.IsSegmented(kind.path) {
+			cont, err = segment.Open(kind.path, wppfile.OpenOptions{})
+		} else {
+			cont, err = wppfile.OpenCompactedOptions(kind.path, wppfile.OpenOptions{})
+		}
+		if err != nil {
+			return fmt.Errorf("%s: open: %w", kind.name, err)
+		}
+
+		srv := server.New(server.Options{CacheEntries: 8})
+		if err := srv.Mount("t", kind.path); err != nil {
+			cont.Close()
+			return fmt.Errorf("%s: mount: %w", kind.name, err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		err = checkAnalyzeParity(ts, cont, "t")
+		ts.Close()
+		srv.Close()
+		cont.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", kind.name, err)
+		}
+	}
+	return nil
+}
+
+// checkAnalyzeParity compares, for every registered pass, the analyze
+// endpoint's bytes against in-process passes.Run on cont (which must
+// hold the same content the server mounted).
+func checkAnalyzeParity(ts *httptest.Server, cont wppfile.Container, mount string) error {
+	for _, p := range passes.All() {
+		perFunc := false
+		for _, d := range p.Params {
+			if d.Name == "func" {
+				perFunc = true
+			}
+		}
+		fns := cont.Functions()
+		if !perFunc {
+			fns = fns[:min(1, len(fns))]
+		}
+		for _, fn := range fns {
+			vals, ok, err := defaultParams(p, cont, fn)
+			if err != nil {
+				return fmt.Errorf("pass %s f%d: %w", p.Name, fn, err)
+			}
+			if !ok {
+				continue
+			}
+			want, err := passes.Run(context.Background(), p.Name, cont,
+				passes.Params{Source: mount, Values: vals})
+			if err != nil {
+				return fmt.Errorf("pass %s f%d: in-process run: %w", p.Name, fn, err)
+			}
+			wantBytes, err := json.MarshalIndent(want, "", "  ")
+			if err != nil {
+				return fmt.Errorf("pass %s f%d: marshal: %w", p.Name, fn, err)
+			}
+			wantBytes = append(wantBytes, '\n')
+
+			q := url.Values{}
+			for k, v := range vals {
+				q.Set(k, v)
+			}
+			path := "/v1/" + mount + "/analyze/" + p.Name
+			if enc := q.Encode(); enc != "" {
+				path += "?" + enc
+			}
+			got, err := getStable(ts, path)
+			if err != nil {
+				return fmt.Errorf("pass %s f%d: %w", p.Name, fn, err)
+			}
+			if !bytes.Equal(got, wantBytes) {
+				return fmt.Errorf("pass %s f%d: GET %s differs from in-process run:\n--- http ---\n%s\n--- in-process ---\n%s",
+					p.Name, fn, path, got, wantBytes)
+			}
+		}
+	}
+	return nil
+}
+
+// defaultParams builds a representative parameter set for one pass
+// from its ParamDoc list: the given function, trace 0, and blocks
+// drawn from that trace. ok is false when the function cannot supply
+// the pass's inputs (no traces, no blocks). A required parameter the
+// testkit has no rule for is an error — extend this when registering
+// a pass with new inputs.
+func defaultParams(p *passes.Pass, cont wppfile.Container, fn cfg.FuncID) (vals map[string]string, ok bool, err error) {
+	vals = map[string]string{}
+	var ft *core.FunctionTWPP
+	need := func() (*core.FunctionTWPP, error) {
+		if ft == nil {
+			ft, err = cont.ExtractFunction(fn)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ft, nil
+	}
+	for _, d := range p.Params {
+		switch d.Name {
+		case "func":
+			vals["func"] = fmt.Sprint(int(fn))
+		case "trace":
+			vals["trace"] = "0"
+		case "k":
+			vals["k"] = "2"
+		case "top":
+			// Optional; exercise the unlimited default.
+		case "block", "gen", "kill":
+			ft, err := need()
+			if err != nil {
+				return nil, false, err
+			}
+			if len(ft.Traces) == 0 || len(ft.Traces[0].Blocks) == 0 {
+				return nil, false, nil
+			}
+			blocks := ft.Traces[0].Blocks
+			switch d.Name {
+			case "block":
+				vals["block"] = fmt.Sprint(int(blocks[0].Block))
+			case "gen":
+				if len(blocks) > 1 {
+					vals["gen"] = fmt.Sprint(int(blocks[1].Block))
+				}
+			case "kill":
+				if len(blocks) > 2 {
+					vals["kill"] = fmt.Sprint(int(blocks[2].Block))
+				}
+			}
+		default:
+			if d.Required {
+				return nil, false, fmt.Errorf("no testkit default for required parameter %q", d.Name)
+			}
+		}
+	}
+	// Trace-indexed passes cannot run against a function with no
+	// traces; the endpoint would answer 400, which is covered by the
+	// server's own error tests.
+	if _, hasTrace := vals["trace"]; hasTrace {
+		ft, err := need()
+		if err != nil {
+			return nil, false, err
+		}
+		if len(ft.Traces) == 0 {
+			return nil, false, nil
+		}
+	}
+	return vals, true, nil
+}

@@ -70,7 +70,9 @@ func CheckServerParity(w *trace.RawWPP) error {
 			return err
 		}
 	}
-	return nil
+	// The generic analyze endpoint must serve every registered pass
+	// byte-identically to in-process dispatch.
+	return checkAnalyzeParity(ts, cf, "t")
 }
 
 // getStable fetches path twice, requiring 200 and byte-identical
