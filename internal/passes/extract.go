@@ -76,6 +76,17 @@ const MaxExpandBlocks = 1 << 22
 // checkExpand validates that expanding the given traces stays under
 // MaxExpandBlocks, counting expanded (post-dictionary) lengths.
 func checkExpand(ft *core.FunctionTWPP, traceIdx int) error {
+	return checkExpandScaled(ft, traceIdx, 1)
+}
+
+// checkExpandScaled is checkExpand with a per-block multiplier: a pass
+// that may materialize each expanded block up to scale times (kpaths
+// copies blocks into up to k overlapping windows) must bound the
+// product, or a maximal scale against a container near the limit would
+// allocate scale× the budget before any per-window work starts. The
+// comparison divides rather than multiplies so a hostile container
+// declaring a near-overflow expansion cannot wrap the product.
+func checkExpandScaled(ft *core.FunctionTWPP, traceIdx int, scale int64) error {
 	total := int64(0)
 	if traceIdx >= 0 {
 		total = expandedLen(ft, traceIdx)
@@ -84,7 +95,7 @@ func checkExpand(ft *core.FunctionTWPP, traceIdx int) error {
 			total += expandedLen(ft, i)
 		}
 	}
-	if total > MaxExpandBlocks {
+	if total > MaxExpandBlocks/scale {
 		return &encoding.Error{
 			Code:   encoding.CodeLimit,
 			Offset: -1,

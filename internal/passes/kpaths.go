@@ -17,6 +17,7 @@ package passes
 
 import (
 	"context"
+	"encoding/binary"
 	"sort"
 
 	"twpp/internal/cfg"
@@ -69,7 +70,11 @@ func runKPaths(ctx context.Context, c wppfile.Container, p Params) (any, error) 
 		return nil, err
 	}
 	defer release()
-	if err := checkExpand(ft, -1); err != nil {
+	// Window storage is O(expanded blocks × k): every block lands in up
+	// to k distinct windows, each deep-copied on first sight. Bound the
+	// product, not just the expansion, so a large k cannot multiply an
+	// in-limit container past the allocation budget.
+	if err := checkExpandScaled(ft, -1, int64(k)); err != nil {
 		return nil, err
 	}
 
@@ -94,12 +99,20 @@ func runKPaths(ctx context.Context, c wppfile.Container, p Params) (any, error) 
 		if uses[i] == 0 {
 			continue
 		}
-		iters, err := iterations(ft, i)
+		iters, err := iterations(ctx, ft, i)
 		if err != nil {
 			return nil, err
 		}
 		res.Iterations += uses[i] * len(iters)
 		for w := 0; w+k <= len(iters); w++ {
+			// A single trace at the expansion cap yields millions of
+			// windows; poll periodically so deadlines and cancellation
+			// bound the pass's longest step, not just its trace loop.
+			if w&0xfff == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			win := iters[w : w+k]
 			key := windowKey(win)
 			e, ok := acc[key]
@@ -136,15 +149,22 @@ func runKPaths(ctx context.Context, c wppfile.Container, p Params) (any, error) 
 // the block sequence into loop iterations: a new iteration begins when
 // the next block already executed in the current one, which is exactly
 // where a Ball-Larus acyclic path terminates at the dynamic back edge.
-// A loop-free invocation is a single iteration.
-func iterations(ft *core.FunctionTWPP, i int) ([][]int, error) {
+// A loop-free invocation is a single iteration. Both the expansion and
+// the split walk up to MaxExpandBlocks items, so each polls ctx
+// periodically.
+func iterations(ctx context.Context, ft *core.FunctionTWPP, i int) ([][]int, error) {
 	compacted, err := ft.Traces[i].ToPath()
 	if err != nil {
 		return nil, err
 	}
 	dict := ft.Dicts[ft.DictOf[i]]
 	var path wpp.PathTrace
-	for _, id := range compacted {
+	for n, id := range compacted {
+		if n&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if chain, ok := dict[id]; ok {
 			path = append(path, chain...)
 		} else {
@@ -154,7 +174,12 @@ func iterations(ft *core.FunctionTWPP, i int) ([][]int, error) {
 	var iters [][]int
 	seen := map[cfg.BlockID]bool{}
 	var cur []int
-	for _, b := range path {
+	for n, b := range path {
+		if n&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if seen[b] {
 			iters = append(iters, cur)
 			cur = nil
@@ -193,9 +218,13 @@ func traceUses(c wppfile.Container, fn cfg.FuncID, n int) ([]int, error) {
 	return uses, nil
 }
 
-// windowKey builds a map key for a window of iterations: varint block
-// ids with a 0xff terminator after each iteration (0xff cannot end a
-// varint's final byte, so boundaries are unambiguous).
+// windowKey builds a map key for a window of iterations: each
+// iteration is its block count as a varint followed by its block ids
+// as varints. Length-prefix framing makes the key uniquely decodable;
+// a terminator byte cannot, because varints for block ids >= 128 can
+// *begin* with any continuation byte (ids ≡ 127 mod 128 start with
+// 0xff), which let distinct windows such as [[1],[1,255]] and
+// [[1,255],[1]] encode identically.
 func windowKey(win [][]int) string {
 	n := 0
 	for _, it := range win {
@@ -203,15 +232,10 @@ func windowKey(win [][]int) string {
 	}
 	b := make([]byte, 0, n)
 	for _, it := range win {
+		b = binary.AppendUvarint(b, uint64(len(it)))
 		for _, blk := range it {
-			v := uint(blk)
-			for v >= 0x80 {
-				b = append(b, byte(v&0x7f)|0x80)
-				v >>= 7
-			}
-			b = append(b, byte(v))
+			b = binary.AppendUvarint(b, uint64(blk))
 		}
-		b = append(b, 0xff)
 	}
 	return string(b)
 }
